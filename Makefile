@@ -1,0 +1,35 @@
+# Convenience targets for the hcd reproduction. Everything is stdlib Go; no
+# external dependencies are fetched.
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt selfcheck experiments fig6 coverage
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+selfcheck:
+	$(GO) run ./cmd/hcd-selfcheck -rounds 25
+
+experiments:
+	$(GO) run ./cmd/hcd-experiments
+
+fig6:
+	$(GO) run ./cmd/hcd-fig6
+
+coverage:
+	$(GO) test -cover ./...

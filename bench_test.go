@@ -1,0 +1,227 @@
+// Benchmarks regenerating the paper's evaluation artifacts; the mapping to
+// tables/figures lives in DESIGN.md §4 and the measured numbers in
+// EXPERIMENTS.md. `go test -bench=. -benchmem` runs everything;
+// cmd/hcd-experiments prints the full row/series form.
+package hcd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hcd"
+)
+
+func benchRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	s := 0.0
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		s += b[i]
+	}
+	for i := range b {
+		b[i] -= s / float64(n)
+	}
+	return b
+}
+
+// fig6Graph is the Figure 6 instance: a weighted 3D grid with large local
+// and global weight variation (the paper's OCT-derived regime).
+func fig6Graph() *hcd.Graph {
+	return hcd.OCT3D(20, 20, 20, hcd.DefaultOCTOptions())
+}
+
+// E1 / Figure 6: Steiner-preconditioned PCG solve.
+func BenchmarkFig6SteinerPCG(b *testing.B) {
+	g := fig6Graph()
+	d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := hcd.NewSteinerPreconditioner(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := benchRHS(g.N(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hcd.SolvePCG(g, rhs, p, hcd.DefaultSolveOptions())
+		if !res.Converged {
+			b.Fatal("not converged")
+		}
+	}
+}
+
+// E1 / Figure 6: subgraph-preconditioned PCG solve (the baseline curve).
+func BenchmarkFig6SubgraphPCG(b *testing.B) {
+	g := fig6Graph()
+	opt := hcd.DefaultPlanarOptions()
+	opt.ExtraFraction = 0.12
+	sub, err := hcd.NewSubgraphPreconditioner(g, opt, g.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := benchRHS(g.N(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hcd.SolvePCG(g, rhs, sub.P, hcd.DefaultSolveOptions())
+		if !res.Converged {
+			b.Fatal("not converged")
+		}
+	}
+}
+
+// E2 / Remark 1: parallel clustering construction vs maximum-weight
+// spanning tree construction on a weighted 3D grid. cmd/hcd-experiments
+// runs the paper's full 10⁶-vertex instance; the benchmark uses 40³.
+func BenchmarkRemark1Clustering(b *testing.B) {
+	g := hcd.Grid3D(40, 40, 40, hcd.LognormalWeights(1), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.DecomposeFixedDegree(g, 4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemark1MaxSpanningTree(b *testing.B) {
+	g := hcd.Grid3D(40, 40, 40, hcd.LognormalWeights(1), 1)
+	opt := hcd.DefaultPlanarOptions()
+	opt.ExtraFraction = 0 // bare spanning tree, as in the paper's comparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.DecomposePlanar(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E3 / Theorem 2.1: tree decomposition throughput.
+func BenchmarkTreeDecomposition100k(b *testing.B) {
+	g := hcd.RandomTree(100000, hcd.UniformWeights(0.1, 10), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.DecomposeTree(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4 / Theorem 2.2: full planar pipeline.
+func BenchmarkPlanarDecomposition(b *testing.B) {
+	g := hcd.PlanarMesh(100, 100, hcd.LognormalWeights(1), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.DecomposePlanar(g, hcd.DefaultPlanarOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5 / Theorem 3.5: support-number measurement cost.
+func BenchmarkTheorem35SupportProbe(b *testing.B) {
+	g := hcd.Grid3D(12, 12, 12, hcd.LognormalWeights(1), 1)
+	d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := hcd.NewSteinerPreconditioner(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := benchRHS(g.N(), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.MeasureSupport(g, p, rhs, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 / Theorem 4.1: eigenpair computation + cluster alignment.
+func BenchmarkSpectralAlignment(b *testing.B) {
+	g := hcd.Grid2D(40, 40, hcd.LognormalWeights(1), 1)
+	d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, vecs, err := hcd.SmallestEigenpairs(g, 3, 60, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range vecs {
+			_ = hcd.Alignment(d, v)
+		}
+	}
+}
+
+// E7 / A3: cluster-size cap sweep of the Section 3.1 clustering.
+func BenchmarkFixedDegreeK2(b *testing.B) { benchFixedDegree(b, 2) }
+func BenchmarkFixedDegreeK4(b *testing.B) { benchFixedDegree(b, 4) }
+func BenchmarkFixedDegreeK8(b *testing.B) { benchFixedDegree(b, 8) }
+
+func benchFixedDegree(b *testing.B, k int) {
+	g := hcd.Grid3D(24, 24, 24, hcd.LognormalWeights(1), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.DecomposeFixedDegree(g, k, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8: multilevel Steiner hierarchy — build and full solve.
+func BenchmarkHierarchyBuild(b *testing.B) {
+	g := hcd.OCT3D(20, 20, 20, hcd.DefaultOCTOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.NewHierarchy(g, hcd.DefaultHierarchyOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchySolveOCT(b *testing.B) {
+	g := hcd.OCT3D(20, 20, 20, hcd.DefaultOCTOptions())
+	h, err := hcd.NewHierarchy(g, hcd.DefaultHierarchyOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := benchRHS(g.N(), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hcd.SolvePCG(g, rhs, h, hcd.DefaultSolveOptions())
+		if !res.Converged {
+			b.Fatal("not converged")
+		}
+	}
+}
+
+// E9 / Theorem 2.3: minor-free pipeline on a low-stretch base tree.
+func BenchmarkMinorFreeDecomposition(b *testing.B) {
+	g := hcd.Grid2D(80, 80, hcd.LognormalWeights(1.5), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.DecomposeMinorFree(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A1: base-tree ablation inside the Theorem 2.2 pipeline.
+func BenchmarkPlanarMaxWeightBase(b *testing.B)  { benchPlanarBase(b, hcd.MaxWeightTree) }
+func BenchmarkPlanarLowStretchBase(b *testing.B) { benchPlanarBase(b, hcd.LowStretchTree) }
+
+func benchPlanarBase(b *testing.B, base hcd.BaseTree) {
+	g := hcd.PlanarMesh(60, 60, hcd.LognormalWeights(1), 1)
+	opt := hcd.DefaultPlanarOptions()
+	opt.Base = base
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcd.DecomposePlanar(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

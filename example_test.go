@@ -1,0 +1,85 @@
+package hcd_test
+
+import (
+	"fmt"
+
+	"hcd"
+)
+
+// ExampleDecomposeFixedDegree shows the Section 3.1 clustering on a small
+// unit grid: every cluster has at least two vertices, so ρ ≥ 2.
+func ExampleDecomposeFixedDegree() {
+	g := hcd.Grid2D(6, 6, nil, 1)
+	d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep := hcd.Evaluate(d)
+	fmt.Printf("rho>=2: %v, clusters of size >=2: %v\n",
+		rep.Rho >= 2, rep.Singletons == 0)
+	// Output:
+	// rho>=2: true, clusters of size >=2: true
+}
+
+// ExampleDecomposeTree shows the Theorem 2.1 guarantees on a path.
+func ExampleDecomposeTree() {
+	// A path of 30 unit-weight vertices.
+	edges := make([]hcd.Edge, 29)
+	for i := range edges {
+		edges[i] = hcd.Edge{U: i, V: i + 1, W: 1}
+	}
+	g, err := hcd.NewGraph(30, edges)
+	if err != nil {
+		panic(err)
+	}
+	d, err := hcd.DecomposeTree(g)
+	if err != nil {
+		panic(err)
+	}
+	rep := hcd.Evaluate(d)
+	fmt.Printf("phi>=1/3: %v, rho>=6/5: %v, exact: %v\n",
+		rep.Phi >= 1.0/3-1e-9, rep.Rho >= 1.2, rep.PhiExact)
+	// Output:
+	// phi>=1/3: true, rho>=6/5: true, exact: true
+}
+
+// ExampleSolve solves a Laplacian system with the multilevel Steiner
+// preconditioner in one call.
+func ExampleSolve() {
+	g := hcd.Grid3D(6, 6, 6, hcd.LognormalWeights(1), 1)
+	b := make([]float64, g.N())
+	b[0], b[g.N()-1] = 1, -1 // a unit current from corner to corner
+	res, err := hcd.Solve(g, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged: %v\n", res.Converged)
+	// Output:
+	// converged: true
+}
+
+// ExampleLocalCluster grows one cluster around a seed without touching the
+// whole graph.
+func ExampleLocalCluster() {
+	// Two 8-cliques joined by one light edge.
+	var edges []hcd.Edge
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				edges = append(edges, hcd.Edge{U: b*8 + i, V: b*8 + j, W: 1})
+			}
+		}
+	}
+	edges = append(edges, hcd.Edge{U: 0, V: 8, W: 0.01})
+	g, err := hcd.NewGraph(16, edges)
+	if err != nil {
+		panic(err)
+	}
+	res, err := hcd.LocalCluster(g, 3, hcd.DefaultLocalClusterOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cluster: %v\n", res.Cluster)
+	// Output:
+	// cluster: [0 1 2 3 4 5 6 7]
+}

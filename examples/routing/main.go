@@ -1,0 +1,69 @@
+// routing demonstrates oblivious routing through a laminar decomposition —
+// the application that motivated (φ, γ) hierarchies in the literature the
+// paper builds on (Räcke et al.). It routes a random permutation demand set
+// over a mesh two ways: canonically through the cluster hierarchy
+// (oblivious: each path depends only on its endpoints) and by shortest
+// paths, then compares congestion.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hcd"
+)
+
+func main() {
+	g := hcd.PlanarMesh(20, 20, hcd.LognormalWeights(1), 1)
+	fmt.Printf("mesh: n=%d m=%d\n", g.N(), g.M())
+
+	lam, err := hcd.BuildLaminar(g, 4, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("laminar hierarchy: %d levels, sizes %v\n", lam.Depth(), lam.Sizes())
+
+	router, err := hcd.NewRouter(g, lam)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(g.N())
+	var oblivious, shortest [][]int
+	demands := 0
+	for i := 0; i+1 < g.N(); i += 2 {
+		s, t := perm[i], perm[i+1]
+		op, err := router.Route(s, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hcd.ValidatePath(g, op, s, t); err != nil {
+			log.Fatal(err)
+		}
+		sp, err := hcd.ShortestPath(g, s, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oblivious = append(oblivious, op)
+		shortest = append(shortest, sp)
+		demands++
+	}
+
+	oMax, oMean, err := hcd.RouteCongestion(g, oblivious)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sMax, sMean, err := hcd.RouteCongestion(g, shortest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d demands routed\n", demands)
+	fmt.Printf("%-22s max congestion %-10.2f mean %-10.2f\n", "oblivious (laminar)", oMax, oMean)
+	fmt.Printf("%-22s max congestion %-10.2f mean %-10.2f\n", "shortest path", sMax, sMean)
+	fmt.Println("the oblivious scheme pays a bounded congestion overhead in exchange")
+	fmt.Println("for paths that depend only on their endpoints — no global state,")
+	fmt.Println("no re-routing under churn; exactly the property [25, 3, 13] derive")
+	fmt.Println("from hierarchies of well-connected clusters.")
+}

@@ -1,0 +1,3 @@
+module hcd
+
+go 1.22

@@ -1,0 +1,216 @@
+// Package hcd is a Go implementation of Koutis & Miller, "Graph partitioning
+// into isolated, high conductance clusters: theory, computation and
+// applications to preconditioning" (SPAA 2008).
+//
+// It decomposes weighted graphs into vertex-disjoint clusters whose closures
+// (induced subgraph + one stub per boundary edge) all have conductance ≥ φ
+// ([φ, ρ] decompositions), and uses the decompositions to build Steiner-graph
+// preconditioners for graph Laplacian systems — including the recursive,
+// multilevel variant that prefigures combinatorial multigrid.
+//
+// Quick start:
+//
+//	g, _ := hcd.NewGraph(n, edges)
+//	d, _ := hcd.DecomposeFixedDegree(g, 4, 1)   // [φ, 2] clustering
+//	rep := hcd.Evaluate(d)                       // measured φ, ρ, γ
+//	p, _ := hcd.NewSteinerPreconditioner(d)      // Section 3 preconditioner
+//	res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package hcd
+
+import (
+	"hcd/internal/decomp"
+	"hcd/internal/graph"
+	"hcd/internal/laminar"
+	"hcd/internal/sparsify"
+	"hcd/internal/spectralcut"
+)
+
+// Edge is an undirected weighted edge.
+type Edge = graph.Edge
+
+// Graph is an immutable weighted undirected graph in CSR form.
+type Graph = graph.Graph
+
+// NewGraph builds a graph on n vertices from an edge list; parallel edges
+// merge by weight summation, self-loops and non-positive weights error.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.NewFromEdges(n, edges)
+}
+
+// Decomposition is a partition of a graph's vertices into clusters.
+type Decomposition = decomp.Decomposition
+
+// Report summarizes decomposition quality (φ, ρ, γ, sizes).
+type Report = decomp.Report
+
+// MaxExactConductance is the largest closure for which Evaluate certifies
+// conductance exactly.
+const MaxExactConductance = graph.MaxExactConductance
+
+// DecomposeTree computes the Theorem 2.1 decomposition of a tree or forest:
+// ρ ≥ 6/5 and every closure conductance ≥ 1/3 (measured ≥ 1/2 on typical
+// weights; see EXPERIMENTS.md E3 on the constant).
+func DecomposeTree(g *Graph) (*Decomposition, error) { return decomp.Tree(g) }
+
+// DecomposeTreeParallel is DecomposeTree with the per-bridge case analysis
+// fanned out across cores; results are identical to DecomposeTree.
+func DecomposeTreeParallel(g *Graph) (*Decomposition, error) { return decomp.TreeParallel(g) }
+
+// ClusterStats describes one cluster (size, volume, boundary, conductance).
+type ClusterStats = decomp.ClusterStats
+
+// Details returns per-cluster statistics sorted by ascending closure
+// conductance — the problematic clusters first.
+func Details(d *Decomposition) []ClusterStats {
+	return decomp.Details(d, graph.MaxExactConductance)
+}
+
+// MaxGammaViolations returns the largest per-cluster count of vertices
+// violating cap(v, C−v) ≥ γ·vol(v); Section 2 proves it is at most 1 when γ
+// is the decomposition's closure conductance.
+func MaxGammaViolations(d *Decomposition, gamma float64) int {
+	return decomp.MaxGammaViolations(d, gamma)
+}
+
+// Agreement scores a cluster assignment against another (e.g. planted
+// ground truth): purity of a against b and the Rand index over vertex
+// pairs.
+func Agreement(a, b []int) (purity, randIndex float64, err error) {
+	return decomp.Agreement(a, b)
+}
+
+// MergeSingletons greedily folds singleton clusters into their heaviest
+// neighbor cluster whenever the merged closure's conductance stays ≥ minPhi
+// (certified exactly). It improves ρ at no conductance cost below the floor
+// and returns the new decomposition with the number of merges.
+func MergeSingletons(d *Decomposition, minPhi float64) (*Decomposition, int) {
+	return decomp.MergeSingletons(d, minPhi, graph.MaxExactConductance)
+}
+
+// DecomposeFixedDegree computes the Section 3.1 clustering: perturb, keep
+// per-vertex heaviest edges, split the forest into clusters of ≈ sizeCap.
+// Every cluster has ≥ 2 vertices, so ρ ≥ 2.
+func DecomposeFixedDegree(g *Graph, sizeCap int, seed int64) (*Decomposition, error) {
+	return decomp.FixedDegree(g, sizeCap, seed)
+}
+
+// BaseTree selects the spanning tree for the sparse-subgraph pipelines.
+type BaseTree = sparsify.BaseTree
+
+// Base tree choices for DecomposePlanar / DecomposeMinorFree.
+const (
+	MaxWeightTree  = sparsify.MaxWeightTree
+	LowStretchTree = sparsify.LowStretchTree
+)
+
+// PlanarOptions configures the Theorem 2.2 pipeline.
+type PlanarOptions struct {
+	Base BaseTree
+	// ExtraFraction controls the off-tree edges kept in the subgraph B
+	// (fraction of n); the paper's "constant fraction".
+	ExtraFraction float64
+	Seed          int64
+}
+
+// DefaultPlanarOptions uses a max-weight base tree with n/4 extra edges.
+func DefaultPlanarOptions() PlanarOptions {
+	return PlanarOptions{Base: MaxWeightTree, ExtraFraction: 0.25, Seed: 1}
+}
+
+// PlanarResult carries the Theorem 2.2 pipeline outputs.
+type PlanarResult struct {
+	D *Decomposition // decomposition of the ORIGINAL graph
+	B *Graph         // sparse subgraph the decomposition was computed on
+	// CoreSize and CutEdges describe the strip/cut phase (|W| and |C|).
+	CoreSize, CutEdges int
+	// AvgStretch is the average edge stretch over the base tree.
+	AvgStretch float64
+}
+
+// DecomposePlanar runs the full Theorem 2.2 pipeline on a connected graph:
+// sparsify to a tree-plus-extras subgraph B, strip/cut/tree-decompose B, and
+// rebind the clustering to g. It applies to any graph; the planarity (or
+// minor-freeness, Theorem 2.3, via LowStretchTree) only affects the
+// provable constants.
+func DecomposePlanar(g *Graph, opt PlanarOptions) (*PlanarResult, error) {
+	sres, err := sparsify.Sparsify(g, sparsify.Options{
+		Base: opt.Base, ExtraFraction: opt.ExtraFraction, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, stats, err := decomp.SparseCore(sres.B)
+	if err != nil {
+		return nil, err
+	}
+	da, err := decomp.Rebind(d, g)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanarResult{
+		D: da, B: sres.B,
+		CoreSize: stats.CoreSize, CutEdges: stats.CutEdges,
+		AvgStretch: sres.AvgStretch,
+	}, nil
+}
+
+// DecomposeMinorFree runs the Theorem 2.3 variant: the same pipeline on a
+// low-stretch base tree.
+func DecomposeMinorFree(g *Graph, seed int64) (*PlanarResult, error) {
+	opt := DefaultPlanarOptions()
+	opt.Base = LowStretchTree
+	opt.Seed = seed
+	return DecomposePlanar(g, opt)
+}
+
+// Evaluate measures a decomposition: minimum closure conductance φ (exact
+// for closures up to MaxExactConductance vertices), reduction factor ρ,
+// per-vertex retention γ, and size statistics.
+func Evaluate(d *Decomposition) Report {
+	return decomp.Evaluate(d, graph.MaxExactConductance)
+}
+
+// Validate checks the partition invariants (coverage, range, connectivity).
+func Validate(d *Decomposition) error { return d.Validate() }
+
+// SpectralCutOptions configures the top-down recursive spectral baseline.
+type SpectralCutOptions = spectralcut.Options
+
+// SpectralCutStats reports its work profile (splits, eigensolves).
+type SpectralCutStats = spectralcut.Stats
+
+// DefaultSpectralCutOptions targets conductance 0.1.
+func DefaultSpectralCutOptions() SpectralCutOptions { return spectralcut.DefaultOptions() }
+
+// DecomposeSpectral runs the top-down recursive two-way spectral
+// partitioning baseline (Kannan–Vempala–Vetta style) the paper's
+// introduction contrasts with its bottom-up constructions: an eigensolve
+// per split and no reduction-factor guarantee, but direct control of the
+// conductance target.
+func DecomposeSpectral(g *Graph, opt SpectralCutOptions) (*Decomposition, SpectralCutStats, error) {
+	return spectralcut.Decompose(g, opt)
+}
+
+// LaminarTree is a laminar hierarchy of decompositions with composition,
+// refinement checks, and per-level quality reports.
+type LaminarTree = laminar.Laminar
+
+// BuildLaminar clusters g recursively (Section 3.1 at every level) until
+// the quotient has at most coarse vertices, returning the full hierarchy.
+func BuildLaminar(g *Graph, sizeCap, coarse int, seed int64) (*LaminarTree, error) {
+	return laminar.Build(g, sizeCap, coarse, seed)
+}
+
+// Laminar computes the recursive (laminar) decomposition and returns the
+// per-level decompositions (the level-i entry partitions the level-i
+// quotient graph). For the richer interface use BuildLaminar.
+func Laminar(g *Graph, sizeCap int, coarse int, seed int64) ([]*Decomposition, error) {
+	l, err := laminar.Build(g, sizeCap, coarse, seed)
+	if err != nil {
+		return nil, err
+	}
+	return l.Levels, nil
+}

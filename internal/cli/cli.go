@@ -1,0 +1,159 @@
+// Package cli holds the shared plumbing of the hcd command-line tools:
+// generator specs, right-hand-side construction, and table formatting.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"hcd/internal/gio"
+	"hcd/internal/graph"
+	"hcd/internal/treealg"
+	"hcd/internal/workload"
+)
+
+// BuildGraph constructs a workload graph from a spec string:
+//
+//	grid2d:SIDE      2D grid, lognormal(σ=1) weights
+//	grid3d:SIDE      3D grid, lognormal(σ=1) weights
+//	mesh:SIDE        planar triangulated grid
+//	oct:SIDE         synthetic OCT volume (side×side×side)
+//	tree:N           uniform random tree
+//	regular:N,D      random D-regular graph
+//	unit2d:SIDE      2D grid, unit weights
+//	file:PATH        edge-list file ("u v w" lines)
+//	mm:PATH          MatrixMarket coordinate file
+//
+// seed controls all randomness (ignored for file inputs).
+func BuildGraph(spec string, seed int64) (*graph.Graph, error) {
+	kind, arg, found := strings.Cut(spec, ":")
+	if !found {
+		return nil, fmt.Errorf("cli: graph spec %q must be kind:size", spec)
+	}
+	switch kind {
+	case "file", "mm":
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if kind == "file" {
+			return gio.ReadEdgeList(f)
+		}
+		return gio.ReadMatrixMarket(f)
+	}
+	var a, b int
+	switch kind {
+	case "regular":
+		if _, err := fmt.Sscanf(arg, "%d,%d", &a, &b); err != nil {
+			return nil, fmt.Errorf("cli: regular spec needs N,D: %w", err)
+		}
+	default:
+		if _, err := fmt.Sscanf(arg, "%d", &a); err != nil {
+			return nil, fmt.Errorf("cli: bad size in %q: %w", spec, err)
+		}
+	}
+	if a < 1 {
+		return nil, fmt.Errorf("cli: size must be positive in %q", spec)
+	}
+	switch kind {
+	case "grid2d":
+		return workload.Grid2D(a, a, workload.Lognormal(1), seed), nil
+	case "grid3d":
+		return workload.Grid3D(a, a, a, workload.Lognormal(1), seed), nil
+	case "mesh":
+		return workload.GridDiag2D(a, a, workload.Lognormal(1), seed), nil
+	case "oct":
+		opt := workload.DefaultOCTOptions()
+		opt.Seed = seed
+		return workload.OCT3D(a, a, a, opt), nil
+	case "tree":
+		rng := rand.New(rand.NewSource(seed))
+		return treealg.RandomTree(rng, a, func() float64 { return 0.1 + rng.Float64()*10 }), nil
+	case "regular":
+		return workload.RandomRegular(a, b, workload.UniformWeight(0.5, 5), seed)
+	case "unit2d":
+		return workload.Grid2D(a, a, nil, seed), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown graph kind %q", kind)
+	}
+}
+
+// MeanFreeRHS returns a deterministic Gaussian right-hand side orthogonal to
+// the constant vector.
+func MeanFreeRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	s := 0.0
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		s += b[i]
+	}
+	for i := range b {
+		b[i] -= s / float64(n)
+	}
+	return b
+}
+
+// Table accumulates aligned rows for terminal output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

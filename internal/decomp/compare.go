@@ -1,0 +1,65 @@
+package decomp
+
+import "fmt"
+
+// Agreement compares two cluster assignments over the same vertex set with
+// the standard external clustering metrics: purity of a against b (each
+// a-cluster votes for its majority b-cluster) and the Rand index (fraction
+// of vertex pairs on which the two clusterings agree about togetherness).
+// Used to score decompositions against planted ground truth.
+func Agreement(a, b []int) (purity, randIndex float64, err error) {
+	n := len(a)
+	if n != len(b) {
+		return 0, 0, fmt.Errorf("decomp: assignments have different lengths %d vs %d", n, len(b))
+	}
+	if n == 0 {
+		return 1, 1, nil
+	}
+	// Purity.
+	votes := make(map[int]map[int]int)
+	for v := range a {
+		if votes[a[v]] == nil {
+			votes[a[v]] = make(map[int]int)
+		}
+		votes[a[v]][b[v]]++
+	}
+	agree := 0
+	for _, counts := range votes {
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		agree += best
+	}
+	purity = float64(agree) / float64(n)
+	// Rand index via the pair-counting identity: with contingency counts
+	// n_ij, cluster sizes a_i, b_j:
+	//   agreements = C(n,2) + Σ n_ij² − ½(Σ a_i² + Σ b_j²)   [pairs]
+	sizeA := make(map[int]int)
+	sizeB := make(map[int]int)
+	for v := range a {
+		sizeA[a[v]]++
+		sizeB[b[v]]++
+	}
+	var sumNij2, sumA2, sumB2 float64
+	for _, counts := range votes {
+		for _, c := range counts {
+			sumNij2 += float64(c) * float64(c)
+		}
+	}
+	for _, s := range sizeA {
+		sumA2 += float64(s) * float64(s)
+	}
+	for _, s := range sizeB {
+		sumB2 += float64(s) * float64(s)
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	if pairs == 0 {
+		return purity, 1, nil
+	}
+	agreePairs := pairs + sumNij2 - (sumA2+sumB2)/2
+	randIndex = agreePairs / pairs
+	return purity, randIndex, nil
+}

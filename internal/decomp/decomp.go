@@ -1,0 +1,218 @@
+// Package decomp implements the paper's central objects: [φ, ρ]
+// decompositions — partitions of a weighted graph into vertex-disjoint
+// clusters such that the closure of every cluster (induced subgraph plus one
+// degree-1 stub per boundary edge) has conductance at least φ, with vertex
+// reduction factor n/#clusters ≥ ρ.
+//
+// Three constructions are provided:
+//
+//   - Tree (Theorem 2.1): 3-critical-vertex clustering of trees and forests.
+//   - SparseCore (the engine of Theorems 2.2/2.3): strip degree-1/degree-2
+//     vertices of a tree-plus-few-edges subgraph to a core W, cut the
+//     lightest edge of every W–W path, and run Tree on the resulting trees.
+//   - FixedDegree (Section 3.1): the embarrassingly parallel
+//     perturb/heaviest-edge/split clustering.
+package decomp
+
+import (
+	"fmt"
+	"math"
+
+	"hcd/internal/graph"
+)
+
+// Decomposition is a partition of the vertices of G into Count clusters.
+type Decomposition struct {
+	G      *graph.Graph
+	Assign []int // vertex -> cluster id in [0, Count)
+	Count  int
+}
+
+// Clusters materializes the vertex lists of all clusters.
+func (d *Decomposition) Clusters() [][]int {
+	cs := make([][]int, d.Count)
+	for v, c := range d.Assign {
+		cs[c] = append(cs[c], v)
+	}
+	return cs
+}
+
+// ReductionFactor returns ρ = n / #clusters.
+func (d *Decomposition) ReductionFactor() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.G.N()) / float64(d.Count)
+}
+
+// Validate checks the structural invariants: every vertex is assigned a
+// cluster id in range, every cluster is non-empty, and every cluster induces
+// a connected subgraph of G.
+func (d *Decomposition) Validate() error {
+	if len(d.Assign) != d.G.N() {
+		return fmt.Errorf("decomp: assignment length %d != n %d", len(d.Assign), d.G.N())
+	}
+	seen := make([]bool, d.Count)
+	for v, c := range d.Assign {
+		if c < 0 || c >= d.Count {
+			return fmt.Errorf("decomp: vertex %d assigned out-of-range cluster %d", v, c)
+		}
+		seen[c] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			return fmt.Errorf("decomp: cluster %d is empty", c)
+		}
+	}
+	for c, vs := range d.Clusters() {
+		sub, _ := d.G.InducedSubgraph(vs)
+		if !sub.Connected() {
+			return fmt.Errorf("decomp: cluster %d (size %d) is not connected", c, len(vs))
+		}
+	}
+	return nil
+}
+
+// Report summarizes the quality of a decomposition.
+type Report struct {
+	Phi            float64 // minimum closure conductance over clusters
+	PhiExact       bool    // true if every cluster's closure conductance was computed exactly
+	Rho            float64 // vertex reduction factor
+	Count          int     // number of clusters
+	MaxClusterSize int
+	Singletons     int     // clusters of size 1
+	GammaMin       float64 // min over vertices of cap(v, cluster−v)/vol(v), the (φ,γ) γ
+	// CutFraction is the total weight of inter-cluster edges over the total
+	// edge weight — the γ_avg of Kannan–Vempala–Vetta (φ, γ_avg)
+	// decompositions; small is good.
+	CutFraction float64
+}
+
+// Evaluate measures a decomposition. Closure conductances are computed
+// exactly for closures of at most exactLimit vertices (pass
+// graph.MaxExactConductance for the largest exact setting); larger closures
+// contribute a sweep-cut upper bound and clear the PhiExact flag.
+func Evaluate(d *Decomposition, exactLimit int) Report {
+	r := Report{Phi: math.Inf(1), PhiExact: true, Rho: d.ReductionFactor(), Count: d.Count, GammaMin: math.Inf(1)}
+	// γ_avg: fraction of edge weight crossing between clusters.
+	cut, total := 0.0, 0.0
+	for u := 0; u < d.G.N(); u++ {
+		nbr, w := d.G.Neighbors(u)
+		for i, v := range nbr {
+			if u < v {
+				total += w[i]
+				if d.Assign[u] != d.Assign[v] {
+					cut += w[i]
+				}
+			}
+		}
+	}
+	if total > 0 {
+		r.CutFraction = cut / total
+	}
+	for _, vs := range d.Clusters() {
+		if len(vs) > r.MaxClusterSize {
+			r.MaxClusterSize = len(vs)
+		}
+		if len(vs) == 1 {
+			r.Singletons++
+		}
+		clo, _ := d.G.Closure(vs)
+		var phi float64
+		if clo.N() <= exactLimit && clo.N() <= graph.MaxExactConductance {
+			phi = clo.ExactConductance()
+		} else {
+			phi = clo.ConductanceUpperBound()
+			r.PhiExact = false
+		}
+		if phi < r.Phi {
+			r.Phi = phi
+		}
+		// γ per vertex: fraction of v's volume staying inside the cluster.
+		in := make(map[int]bool, len(vs))
+		for _, v := range vs {
+			in[v] = true
+		}
+		for _, v := range vs {
+			if len(vs) == 1 {
+				r.GammaMin = 0 // singletons keep nothing inside
+				continue
+			}
+			nbr, w := d.G.Neighbors(v)
+			inside := 0.0
+			for i, u := range nbr {
+				if in[u] {
+					inside += w[i]
+				}
+			}
+			if g := inside / d.G.Vol(v); g < r.GammaMin {
+				r.GammaMin = g
+			}
+		}
+	}
+	return r
+}
+
+// GammaViolations counts, per cluster, the vertices v with
+// cap(v, cluster−v) < γ·vol(v) — the vertices that keep a [φ, ρ]
+// decomposition from being a full (φ, γ) decomposition. Section 2 of the
+// paper proves that a cluster whose closure has conductance ≥ φ contains at
+// most one vertex violating γ = φ; MaxGammaViolations verifies exactly that.
+func GammaViolations(d *Decomposition, gamma float64) []int {
+	out := make([]int, d.Count)
+	for c, vs := range d.Clusters() {
+		in := make(map[int]bool, len(vs))
+		for _, v := range vs {
+			in[v] = true
+		}
+		for _, v := range vs {
+			nbr, w := d.G.Neighbors(v)
+			inside := 0.0
+			for i, u := range nbr {
+				if in[u] {
+					inside += w[i]
+				}
+			}
+			if inside < gamma*d.G.Vol(v)-1e-12 {
+				out[c]++
+			}
+		}
+	}
+	return out
+}
+
+// MaxGammaViolations returns the maximum per-cluster γ-violation count.
+func MaxGammaViolations(d *Decomposition, gamma float64) int {
+	m := 0
+	for _, v := range GammaViolations(d, gamma) {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Rebind views the same partition as a decomposition of another graph on the
+// same vertex set — the final step of Theorem 2.2, where a decomposition of
+// the sparse subgraph B is read as a decomposition of the original graph A
+// (clusters connected in a subgraph stay connected in the supergraph; the
+// conductance degrades by at most the spectral distance between A and B).
+func Rebind(d *Decomposition, a *graph.Graph) (*Decomposition, error) {
+	if a.N() != d.G.N() {
+		return nil, fmt.Errorf("decomp: Rebind vertex count mismatch %d vs %d", a.N(), d.G.N())
+	}
+	return &Decomposition{G: a, Assign: d.Assign, Count: d.Count}, nil
+}
+
+// SingleCluster returns the trivial decomposition putting every vertex of a
+// connected graph into one cluster (used for tiny inputs).
+func SingleCluster(g *graph.Graph) *Decomposition {
+	return &Decomposition{G: g, Assign: make([]int, g.N()), Count: minClusters(g.N())}
+}
+
+func minClusters(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,155 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a via
+// cyclic Jacobi rotations. It returns the eigenvalues in ascending order and
+// the matrix of eigenvectors (column k is the eigenvector of eigenvalue k).
+// Intended for small matrices (n up to a few hundred).
+func SymEig(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("dense: SymEig needs square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-26*float64(n*n)+1e-300 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns accordingly.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	sorted := make([]float64, n)
+	vecs = NewMatrix(n, n)
+	for k, src := range idx {
+		sorted[k] = vals[src]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v.At(i, src))
+		}
+	}
+	return sorted, vecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to m (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		mip, miq := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*mip-s*miq)
+		m.Set(i, q, s*mip+c*miq)
+	}
+	for j := 0; j < n; j++ {
+		mpj, mqj := m.At(p, j), m.At(q, j)
+		m.Set(p, j, c*mpj-s*mqj)
+		m.Set(q, j, s*mpj+c*mqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// TridiagEig computes the eigenvalues (ascending) of the symmetric
+// tridiagonal matrix with diagonal d (length n) and off-diagonal e (length
+// n−1), using QL iterations with implicit shifts. d and e are not modified.
+// This is the workhorse behind Lanczos-based spectrum estimates.
+func TridiagEig(d, e []float64) ([]float64, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, nil
+	}
+	if len(e) != n-1 {
+		return nil, fmt.Errorf("dense: TridiagEig needs len(e) == len(d)-1")
+	}
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e)
+	ee[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter > 50 {
+				return nil, fmt.Errorf("dense: TridiagEig failed to converge at row %d", l)
+			}
+			var mIdx int
+			for mIdx = l; mIdx < n-1; mIdx++ {
+				s := math.Abs(dd[mIdx]) + math.Abs(dd[mIdx+1])
+				if math.Abs(ee[mIdx]) <= 1e-16*s {
+					break
+				}
+			}
+			if mIdx == l {
+				break
+			}
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[mIdx] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := mIdx - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[mIdx] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && mIdx-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[mIdx] = 0
+		}
+	}
+	sort.Float64s(dd)
+	return dd, nil
+}

@@ -1,0 +1,227 @@
+// Package gio reads and writes graphs in two interchange formats:
+//
+//   - a plain edge-list text format ("u v w" per line, '#' comments,
+//     0-based vertex ids, an optional "n <count>" header line), and
+//   - the MatrixMarket coordinate format (symmetric real/integer/pattern),
+//     the lingua franca of sparse-matrix collections, interpreting
+//     off-diagonal entries as edge weights |a_ij| and ignoring the
+//     diagonal — the standard way Laplacian test problems are shipped.
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"hcd/internal/graph"
+)
+
+// WriteEdgeList writes g in the edge-list format, one "u v w" line per
+// edge, preceded by an "n <count>" header so isolated vertices round-trip.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the edge-list format. Lines are "u v w" (w optional,
+// default 1); blank lines and '#' comments are skipped; an optional
+// "n <count>" line fixes the vertex count (otherwise 1 + max id).
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var edges []graph.Edge
+	n := -1
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("gio: line %d: bad n header", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("gio: line %d: bad vertex count %q", line, fields[1])
+			}
+			n = v
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("gio: line %d: want 'u v [w]', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[1])
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad weight %q", line, fields[2])
+			}
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	return graph.NewFromEdges(n, edges)
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file as a weighted
+// graph: the matrix must be square; symmetric files use each stored entry
+// once, general files must contain both triangles consistently (entries are
+// merged by absolute-value max). Diagonal entries are skipped; entry values
+// become |a_ij|; pattern files get unit weights.
+func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("gio: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("gio: unsupported MatrixMarket header %q", sc.Text())
+	}
+	pattern := header[3] == "pattern"
+	if !pattern && header[3] != "real" && header[3] != "integer" {
+		return nil, fmt.Errorf("gio: unsupported field type %q", header[3])
+	}
+	symmetric := false
+	if len(header) >= 5 {
+		switch header[4] {
+		case "symmetric", "skew-symmetric":
+			symmetric = true
+		case "general":
+		default:
+			return nil, fmt.Errorf("gio: unsupported symmetry %q", header[4])
+		}
+	}
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(text, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("gio: bad size line %q: %w", text, err)
+		}
+		break
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("gio: matrix is %dx%d, need square", rows, cols)
+	}
+	type key struct{ u, v int }
+	weights := make(map[key]float64, nnz)
+	read := 0
+	for read < nnz && sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("gio: short entry line %q", text)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("gio: bad row index %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("gio: bad col index %q", fields[1])
+		}
+		read++
+		if i == j {
+			continue // diagonal: Laplacian diagonals are implied
+		}
+		w := 1.0
+		if !pattern {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gio: bad value %q", fields[2])
+			}
+			w = math.Abs(w)
+			if w == 0 {
+				continue // explicit zero: no edge
+			}
+		}
+		u, v := i-1, j-1 // MatrixMarket is 1-based
+		if u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		if prev, ok := weights[k]; !ok || w > prev {
+			weights[k] = w
+		}
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("gio: expected %d entries, found %d", nnz, read)
+	}
+	_ = symmetric // both triangles collapse into the same undirected edge
+	edges := make([]graph.Edge, 0, len(weights))
+	for k, w := range weights {
+		edges = append(edges, graph.Edge{U: k.u, V: k.v, W: w})
+	}
+	return graph.NewFromEdges(rows, edges)
+}
+
+// WriteMatrixMarket writes the Laplacian of g as a symmetric real
+// coordinate MatrixMarket matrix (lower triangle + diagonal).
+func WriteMatrixMarket(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.N()
+	nnz := g.M() + n
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n%d %d %d\n", n, n, nnz); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", v+1, v+1, g.Vol(v)); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		hi, lo := e.U, e.V
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", hi+1, lo+1, -e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,180 @@
+package gio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hcd/internal/graph"
+	"hcd/internal/workload"
+)
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i].U != eb[i].U || ea[i].V != eb[i].V || math.Abs(ea[i].W-eb[i].W) > 1e-15 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := workload.GridDiag2D(7, 9, workload.Lognormal(1), 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, h) {
+		t.Error("edge-list round trip changed the graph")
+	}
+}
+
+func TestEdgeListIsolatedVerticesRoundTrip(t *testing.T) {
+	g := graph.MustFromEdges(5, []graph.Edge{{U: 0, V: 1, W: 2}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d, want 5", h.N())
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	in := `
+# a comment
+0 1 2.5
+
+1 2
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if w, _ := g.Weight(1, 2); w != 1 {
+		t.Errorf("default weight = %v, want 1", w)
+	}
+	if w, _ := g.Weight(0, 1); w != 2.5 {
+		t.Errorf("weight = %v", w)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0 1 x",
+		"0",
+		"a b",
+		"n -3",
+		"0 0 1", // self loop -> NewFromEdges error
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := workload.Grid2D(6, 5, workload.Lognormal(1), 7)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, h) {
+		t.Error("MatrixMarket round trip changed the graph")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% triangle
+3 3 3
+2 1
+3 1
+3 2
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if w, _ := g.Weight(0, 2); w != 1 {
+		t.Errorf("pattern weight = %v", w)
+	}
+}
+
+func TestReadMatrixMarketSkipsDiagonalAndZeros(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 5.0
+2 1 -2.0
+3 2 0.0
+3 1 1.5
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if w, _ := g.Weight(0, 1); w != 2 { // |−2|
+		t.Errorf("weight = %v, want 2", w)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex symmetric\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n",      // missing entry
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1\n", // short line
+	}
+	for i, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMatrixMarketGeneralBothTriangles(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 2 -3
+2 1 -3
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if w, _ := g.Weight(0, 1); w != 3 {
+		t.Errorf("weight = %v", w)
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+// InducedSubgraph returns the subgraph induced by the vertex set s, together
+// with the mapping from new vertex ids (0..len(s)−1) back to the originals.
+// Duplicate entries in s are an error caught by construction (they would
+// create self-loops only if s has duplicates; we guard explicitly).
+func (g *Graph) InducedSubgraph(s []int) (*Graph, []int) {
+	idx := make(map[int]int, len(s))
+	back := make([]int, len(s))
+	for i, v := range s {
+		if _, dup := idx[v]; dup {
+			panic("graph: duplicate vertex in InducedSubgraph")
+		}
+		idx[v] = i
+		back[i] = v
+	}
+	var es []Edge
+	for i, v := range s {
+		nbr, w := g.Neighbors(v)
+		for k, u := range nbr {
+			if j, ok := idx[u]; ok && i < j {
+				es = append(es, Edge{U: i, V: j, W: w[k]})
+			}
+		}
+	}
+	return MustFromEdges(len(s), es), back
+}
+
+// Closure returns the closure graph of cluster s: the induced subgraph on s
+// plus one new degree-1 "stub" vertex for every edge leaving s, attached with
+// that edge's weight. Cluster vertices keep ids 0..len(s)−1 (in the order of
+// s); stubs follow. This is the graph G°ᵢ of the paper's Section 2, whose
+// conductance defines a [φ, ρ] decomposition.
+func (g *Graph) Closure(s []int) (*Graph, []int) {
+	idx := make(map[int]int, len(s))
+	back := make([]int, len(s))
+	for i, v := range s {
+		if _, dup := idx[v]; dup {
+			panic("graph: duplicate vertex in Closure")
+		}
+		idx[v] = i
+		back[i] = v
+	}
+	var es []Edge
+	next := len(s)
+	for i, v := range s {
+		nbr, w := g.Neighbors(v)
+		for k, u := range nbr {
+			if j, ok := idx[u]; ok {
+				if i < j {
+					es = append(es, Edge{U: i, V: j, W: w[k]})
+				}
+			} else {
+				es = append(es, Edge{U: i, V: next, W: w[k]})
+				next++
+			}
+		}
+	}
+	return MustFromEdges(next, es), back
+}
+
+// Contract returns the quotient graph of g under the cluster assignment:
+// assign[v] ∈ [0, m) names v's cluster, and the quotient has one vertex per
+// cluster with w(ri, rj) = cap(Vi, Vj). Intra-cluster edges vanish. This is
+// the graph Q of Definition 3.1 and algebraically equals RᵀAR off-diagonal.
+func (g *Graph) Contract(assign []int, m int) *Graph {
+	var es []Edge
+	for u := 0; u < g.N(); u++ {
+		nbr, w := g.Neighbors(u)
+		cu := assign[u]
+		for k, v := range nbr {
+			if u < v && assign[v] != cu {
+				es = append(es, Edge{U: cu, V: assign[v], W: w[k]})
+			}
+		}
+	}
+	return MustFromEdges(m, es)
+}

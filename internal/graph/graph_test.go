@@ -1,0 +1,574 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	es := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		es = append(es, Edge{U: i, V: i + 1, W: 1})
+	}
+	return MustFromEdges(n, es)
+}
+
+func cycleGraph(n int) *Graph {
+	es := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		es = append(es, Edge{U: i, V: (i + 1) % n, W: 1})
+	}
+	return MustFromEdges(n, es)
+}
+
+func starGraph(n int) *Graph { // center 0, n−1 leaves
+	es := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		es = append(es, Edge{U: 0, V: i, W: 1})
+	}
+	return MustFromEdges(n, es)
+}
+
+func completeGraph(n int) *Graph {
+	var es []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			es = append(es, Edge{U: i, V: j, W: 1})
+		}
+	}
+	return MustFromEdges(n, es)
+}
+
+func randomConnected(rng *rand.Rand, n int, extra int) *Graph {
+	var es []Edge
+	for v := 1; v < n; v++ {
+		es = append(es, Edge{U: rng.Intn(v), V: v, W: 0.5 + rng.Float64()})
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			es = append(es, Edge{U: u, V: v, W: 0.5 + rng.Float64()})
+		}
+	}
+	return MustFromEdges(n, es)
+}
+
+func TestNewFromEdgesValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"negative n", -1, nil},
+		{"out of range", 2, []Edge{{U: 0, V: 2, W: 1}}},
+		{"negative endpoint", 2, []Edge{{U: -1, V: 1, W: 1}}},
+		{"self loop", 2, []Edge{{U: 1, V: 1, W: 1}}},
+		{"zero weight", 2, []Edge{{U: 0, V: 1, W: 0}}},
+		{"negative weight", 2, []Edge{{U: 0, V: 1, W: -2}}},
+		{"NaN weight", 2, []Edge{{U: 0, V: 1, W: math.NaN()}}},
+		{"Inf weight", 2, []Edge{{U: 0, V: 1, W: math.Inf(1)}}},
+	}
+	for _, c := range cases {
+		if _, err := NewFromEdges(c.n, c.edges); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestEmptyAndTrivialGraphs(t *testing.T) {
+	g, err := NewFromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 || !g.Connected() {
+		t.Errorf("empty graph: N=%d M=%d connected=%v", g.N(), g.M(), g.Connected())
+	}
+	g = MustFromEdges(1, nil)
+	if !g.Connected() || g.TotalVol() != 0 {
+		t.Errorf("singleton: connected=%v vol=%v", g.Connected(), g.TotalVol())
+	}
+	if g.ExactConductance() != math.Inf(1) {
+		t.Errorf("singleton conductance should be +Inf")
+	}
+}
+
+func TestParallelEdgeMerging(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{0, 1, 1.5}, {1, 0, 2.5}})
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 4 {
+		t.Errorf("merged weight = %v, want 4", w)
+	}
+	if g.Vol(0) != 4 || g.Vol(1) != 4 {
+		t.Errorf("volumes = %v %v, want 4 4", g.Vol(0), g.Vol(1))
+	}
+}
+
+func TestDegreesAndVolumes(t *testing.T) {
+	g := starGraph(5)
+	if g.Degree(0) != 4 || g.MaxDegree() != 4 {
+		t.Errorf("star degrees wrong: %d %d", g.Degree(0), g.MaxDegree())
+	}
+	if g.Vol(0) != 4 || g.Vol(3) != 1 {
+		t.Errorf("star volumes wrong")
+	}
+	if g.TotalVol() != 8 {
+		t.Errorf("TotalVol = %v, want 8", g.TotalVol())
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnected(rng, 40, 60)
+	h := MustFromEdges(g.N(), g.Edges())
+	if h.M() != g.M() {
+		t.Fatalf("edge count changed: %d vs %d", h.M(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(h.Vol(v)-g.Vol(v)) > 1e-12 {
+			t.Fatalf("vol mismatch at %d", v)
+		}
+	}
+}
+
+func TestWeightLookup(t *testing.T) {
+	g := pathGraph(4)
+	if _, ok := g.Weight(0, 2); ok {
+		t.Error("nonexistent edge reported present")
+	}
+	if w, ok := g.Weight(2, 1); !ok || w != 1 {
+		t.Error("edge (1,2) lookup failed")
+	}
+}
+
+func TestBFSAndComponents(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}})
+	order, parent := g.BFS(0)
+	if len(order) != 3 || order[0] != 0 {
+		t.Errorf("BFS order = %v", order)
+	}
+	if parent[1] != 0 || parent[2] != 1 || parent[5] != -1 {
+		t.Errorf("BFS parents = %v", parent)
+	}
+	label, k := g.Components()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if label[0] != label[2] || label[3] != label[4] || label[0] == label[3] || label[5] == label[0] {
+		t.Errorf("labels = %v", label)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestForestAndTreePredicates(t *testing.T) {
+	if !pathGraph(5).IsTree() || !pathGraph(5).IsForest() {
+		t.Error("path should be tree and forest")
+	}
+	if cycleGraph(4).IsForest() {
+		t.Error("cycle is not a forest")
+	}
+	forest := MustFromEdges(5, []Edge{{0, 1, 1}, {2, 3, 1}})
+	if !forest.IsForest() || forest.IsTree() {
+		t.Error("two-component forest misclassified")
+	}
+}
+
+func TestCutMetrics(t *testing.T) {
+	// Two triangles joined by one light edge.
+	es := []Edge{{0, 1, 2}, {1, 2, 2}, {0, 2, 2}, {3, 4, 2}, {4, 5, 2}, {3, 5, 2}, {2, 3, 0.5}}
+	g := MustFromEdges(6, es)
+	s := []int{0, 1, 2}
+	if out := g.Out(s); math.Abs(out-0.5) > 1e-12 {
+		t.Errorf("Out = %v, want 0.5", out)
+	}
+	if c := g.Cap(s, []int{3, 4, 5}); math.Abs(c-0.5) > 1e-12 {
+		t.Errorf("Cap = %v, want 0.5", c)
+	}
+	wantVol := 2.0*2*3 + 0.5 // per side: three weight-2 edges fully inside + half... compute directly
+	_ = wantVol
+	if v := g.VolSet(s); math.Abs(v-(4+4+4.5)) > 1e-12 {
+		t.Errorf("VolSet = %v, want 12.5", v)
+	}
+	sp := g.CutSparsity(s)
+	if math.Abs(sp-0.5/12.5) > 1e-12 {
+		t.Errorf("CutSparsity = %v", sp)
+	}
+	// Exact conductance must find this (or a better) cut.
+	phi := g.ExactConductance()
+	if phi > sp+1e-12 {
+		t.Errorf("ExactConductance %v > sparsity of known cut %v", phi, sp)
+	}
+	if phi <= 0 {
+		t.Errorf("conductance should be positive on connected graph, got %v", phi)
+	}
+}
+
+func TestExactConductanceKnownValues(t *testing.T) {
+	// Complete graph K4, unit weights: conductance = min over |S|=1,2.
+	// |S|=1: cut 3, vol 3 → 1. |S|=2: cut 4, vol 6 → 2/3.
+	if phi := completeGraph(4).ExactConductance(); math.Abs(phi-2.0/3.0) > 1e-12 {
+		t.Errorf("K4 conductance = %v, want 2/3", phi)
+	}
+	// Path P3 (unit): best cut splits an end edge: cut 1, min vol 1 → 1.
+	if phi := pathGraph(3).ExactConductance(); math.Abs(phi-1) > 1e-12 {
+		t.Errorf("P3 conductance = %v, want 1", phi)
+	}
+	// Path P4: cut middle edge: cut 1, vol 3 each side → 1/3.
+	if phi := pathGraph(4).ExactConductance(); math.Abs(phi-1.0/3.0) > 1e-12 {
+		t.Errorf("P4 conductance = %v, want 1/3", phi)
+	}
+	// Star on 5 vertices: any leaf subset S (not containing center) has
+	// cut=|S|, vol=|S| → 1; best is 1... with center: S={center} cut 4 vol 4 → 1.
+	if phi := starGraph(5).ExactConductance(); math.Abs(phi-1) > 1e-12 {
+		t.Errorf("star conductance = %v, want 1", phi)
+	}
+	// Disconnected graph: conductance 0.
+	g := MustFromEdges(4, []Edge{{0, 1, 1}, {2, 3, 1}})
+	if phi := g.ExactConductance(); phi != 0 {
+		t.Errorf("disconnected conductance = %v, want 0", phi)
+	}
+}
+
+func TestSweepCutMatchesExactOnPath(t *testing.T) {
+	g := pathGraph(8)
+	perm := make([]int, 8)
+	for i := range perm {
+		perm[i] = i
+	}
+	s, set := g.SweepCut(perm)
+	if math.Abs(s-g.ExactConductance()) > 1e-12 {
+		t.Errorf("sweep %v vs exact %v", s, g.ExactConductance())
+	}
+	if len(set) != 4 {
+		t.Errorf("sweep set = %v, want the middle cut", set)
+	}
+}
+
+func TestConductanceUpperBoundIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for it := 0; it < 25; it++ {
+		n := 4 + rng.Intn(10)
+		g := randomConnected(rng, n, rng.Intn(12))
+		exact := g.ExactConductance()
+		ub := g.ConductanceUpperBound()
+		if ub < exact-1e-9 {
+			t.Fatalf("upper bound %v below exact %v (n=%d)", ub, exact, n)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := cycleGraph(6)
+	sub, back := g.InducedSubgraph([]int{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("induced N=%d M=%d", sub.N(), sub.M())
+	}
+	if back[0] != 1 || back[2] != 3 {
+		t.Errorf("back map = %v", back)
+	}
+	if !sub.IsTree() {
+		t.Error("induced path should be a tree")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	g := cycleGraph(6)
+	clo, back := g.Closure([]int{1, 2, 3})
+	// Cluster path 1-2-3 has two boundary edges (0,1) and (3,4): two stubs.
+	if clo.N() != 5 || clo.M() != 4 {
+		t.Fatalf("closure N=%d M=%d, want 5 4", clo.N(), clo.M())
+	}
+	if len(back) != 3 {
+		t.Fatalf("back = %v", back)
+	}
+	// Stubs must be degree 1.
+	for v := 3; v < 5; v++ {
+		if clo.Degree(v) != 1 {
+			t.Errorf("stub %d degree %d", v, clo.Degree(v))
+		}
+	}
+	// Cluster vertex volumes in closure equal their volumes in g.
+	for i, orig := range back {
+		if math.Abs(clo.Vol(i)-g.Vol(orig)) > 1e-12 {
+			t.Errorf("closure vol mismatch at %d", orig)
+		}
+	}
+}
+
+func TestClosureConductanceSmallerThanInduced(t *testing.T) {
+	// Adding boundary stubs can only create sparser cuts.
+	rng := rand.New(rand.NewSource(11))
+	for it := 0; it < 20; it++ {
+		g := randomConnected(rng, 12, 8)
+		s := []int{0, 1, 2, 3}
+		clo, _ := g.Closure(s)
+		ind, _ := g.InducedSubgraph(s)
+		if clo.N() > MaxExactConductance || !ind.Connected() {
+			continue
+		}
+		pc := clo.ExactConductance()
+		pi := ind.ExactConductance()
+		if pc > pi+1e-9 {
+			t.Fatalf("closure conductance %v > induced %v", pc, pi)
+		}
+	}
+}
+
+func TestContract(t *testing.T) {
+	// 6-cycle contracted into 3 consecutive pairs → triangle with weights 1.
+	g := cycleGraph(6)
+	assign := []int{0, 0, 1, 1, 2, 2}
+	q := g.Contract(assign, 3)
+	if q.N() != 3 || q.M() != 3 {
+		t.Fatalf("quotient N=%d M=%d", q.N(), q.M())
+	}
+	for _, pr := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if w, ok := q.Weight(pr[0], pr[1]); !ok || math.Abs(w-1) > 1e-12 {
+			t.Errorf("quotient edge %v weight %v", pr, w)
+		}
+	}
+	// Total quotient edge weight = total cut weight between clusters.
+	if tv := q.TotalVol(); math.Abs(tv-6) > 1e-12 {
+		t.Errorf("quotient total vol %v, want 6", tv)
+	}
+}
+
+func TestContractMatchesCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for it := 0; it < 15; it++ {
+		g := randomConnected(rng, 20, 25)
+		m := 4
+		assign := make([]int, 20)
+		clusters := make([][]int, m)
+		for v := range assign {
+			c := rng.Intn(m)
+			assign[v] = c
+			clusters[c] = append(clusters[c], v)
+		}
+		q := g.Contract(assign, m)
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				want := g.Cap(clusters[i], clusters[j])
+				got, ok := q.Weight(i, j)
+				if want == 0 {
+					if ok {
+						t.Fatalf("phantom quotient edge %d-%d", i, j)
+					}
+					continue
+				}
+				if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+					t.Fatalf("quotient weight %d-%d = %v, want %v", i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLapMulAndQuad(t *testing.T) {
+	g := pathGraph(3)
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 3)
+	g.LapMul(dst, x)
+	want := []float64{1, 0, -1}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Errorf("LapMul[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	if q := g.LapQuad(x); math.Abs(q-2) > 1e-12 {
+		t.Errorf("LapQuad = %v, want 2", q)
+	}
+}
+
+func TestLapDenseAgreesWithLapMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnected(rng, 15, 20)
+	n := g.N()
+	a := g.LapDense()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n)
+	g.LapMul(got, x)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += a[i*n+j] * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want)
+		}
+	}
+}
+
+func TestLaplacianPSDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomConnected(rng, 25, 30)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, g.N())
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		return g.LapQuad(x) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLapQuadZeroOnConstants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomConnected(rng, 20, 10)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = 42.5
+	}
+	if q := g.LapQuad(x); math.Abs(q) > 1e-9 {
+		t.Errorf("quad on constants = %v", q)
+	}
+	dst := make([]float64, g.N())
+	g.LapMul(dst, x)
+	for _, v := range dst {
+		if math.Abs(v) > 1e-9 {
+			t.Errorf("LapMul on constants nonzero: %v", v)
+		}
+	}
+}
+
+func TestVolumesIsDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomConnected(rng, 12, 10)
+	a := g.LapDense()
+	vols := g.Volumes()
+	for i := 0; i < g.N(); i++ {
+		if math.Abs(a[i*g.N()+i]-vols[i]) > 1e-12 {
+			t.Fatalf("diagonal mismatch at %d", i)
+		}
+	}
+}
+
+func TestReweight(t *testing.T) {
+	g := pathGraph(3)
+	h, err := g.Reweight(func(u, v int, w float64) float64 { return w * 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := h.Weight(0, 1); w != 3 {
+		t.Errorf("reweighted = %v", w)
+	}
+	if _, err := g.Reweight(func(u, v int, w float64) float64 { return -1 }); err == nil {
+		t.Error("negative reweight should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := pathGraph(3)
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatal("clone shape mismatch")
+	}
+	c.w[0] = 99
+	if g.w[0] == 99 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestNewFromUniqueEdgesMatchesNewFromEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		seen := map[[2]int]bool{}
+		var es []Edge
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			es = append(es, Edge{U: u, V: v, W: 0.1 + rng.Float64()})
+		}
+		a, err := NewFromEdges(n, es)
+		if err != nil {
+			return false
+		}
+		b, err := NewFromUniqueEdges(n, es)
+		if err != nil {
+			return false
+		}
+		if a.N() != b.N() || a.M() != b.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if math.Abs(a.Vol(v)-b.Vol(v)) > 1e-12 {
+				return false
+			}
+		}
+		// Adjacency order may differ (sorted vs input order); compare the
+		// edge sets, not the sequences.
+		ea, eb := a.Edges(), b.Edges()
+		key := func(e Edge) [2]int { return [2]int{e.U, e.V} }
+		wa := map[[2]int]float64{}
+		for _, e := range ea {
+			wa[key(e)] = e.W
+		}
+		for _, e := range eb {
+			w, ok := wa[key(e)]
+			if !ok || math.Abs(w-e.W) > 1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewFromUniqueEdgesValidation(t *testing.T) {
+	if _, err := NewFromUniqueEdges(2, []Edge{{U: 0, V: 0, W: 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := NewFromUniqueEdges(2, []Edge{{U: 0, V: 3, W: 1}}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := NewFromUniqueEdges(2, []Edge{{U: 0, V: 1, W: -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewFromUniqueEdges(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func BenchmarkLapMulPath(b *testing.B) {
+	g := pathGraph(100000)
+	x := make([]float64, g.N())
+	dst := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LapMul(dst, x)
+	}
+}
+
+func BenchmarkExactConductance16(b *testing.B) {
+	g := completeGraph(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ExactConductance()
+	}
+}

@@ -1,0 +1,205 @@
+// Package hierarchy implements the recursive construction the paper sketches
+// at the end of Section 1.1 and Remark 3: applying the Section 3.1
+// clustering recursively yields a laminar decomposition and a hierarchy of
+// Steiner preconditioners — the precursor of combinatorial multigrid (CMG).
+//
+// Each level stores its graph, a [φ, 2] clustering of it, and the quotient.
+// The apply uses the exact two-level identity B⁺r = D⁻¹r + R·Q⁺(Rᵀr) with
+// the quotient solve replaced by the next level's apply; the coarsest level
+// is solved directly. An optional damped-Jacobi pre/post smoothing pair
+// turns the pure recursion into a symmetric V-cycle.
+package hierarchy
+
+import (
+	"fmt"
+
+	"hcd/internal/decomp"
+	"hcd/internal/dense"
+	"hcd/internal/graph"
+	"hcd/internal/par"
+)
+
+// Options configures the hierarchy.
+type Options struct {
+	SizeCap     int   // cluster size cap per level (≥ 2)
+	Seed        int64 // perturbation seed for the clusterings
+	DirectLimit int   // coarsest-level size solved densely
+	MaxLevels   int   // hard cap on depth
+	Smooth      int   // damped-Jacobi pre/post smoothing sweeps per level
+}
+
+// DefaultOptions: clusters of ~4, 600-vertex coarse solves, one smoothing
+// sweep.
+func DefaultOptions() Options {
+	return Options{SizeCap: 4, Seed: 1, DirectLimit: 600, MaxLevels: 40, Smooth: 1}
+}
+
+// Level is one layer of the laminar decomposition.
+type Level struct {
+	G      *graph.Graph
+	D      *decomp.Decomposition
+	dInv   []float64
+	smooth int
+	// order/start: vertices sorted by cluster, for the conflict-free
+	// parallel restriction (segmented sums).
+	order, start []int
+	// scratch buffers sized for this level
+	rq, xq, tmp, tmp2 []float64
+}
+
+// Hierarchy is a multilevel Steiner preconditioner.
+type Hierarchy struct {
+	levels  []*Level
+	coarseG *graph.Graph
+	coarse  *dense.PinnedLaplacian
+	cbuf    []float64
+}
+
+// New builds the hierarchy for g.
+func New(g *graph.Graph, opt Options) (*Hierarchy, error) {
+	if opt.SizeCap < 2 {
+		return nil, fmt.Errorf("hierarchy: SizeCap must be ≥ 2")
+	}
+	if opt.DirectLimit < 1 {
+		opt.DirectLimit = 1
+	}
+	h := &Hierarchy{}
+	cur := g
+	for level := 0; cur.N() > opt.DirectLimit && level < opt.MaxLevels; level++ {
+		d, err := decomp.FixedDegree(cur, opt.SizeCap, opt.Seed+int64(level))
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: level %d clustering failed: %w", level, err)
+		}
+		if d.Count >= cur.N() {
+			break // no reduction possible (e.g. all isolated vertices)
+		}
+		l := &Level{
+			G: cur, D: d, smooth: opt.Smooth,
+			dInv: make([]float64, cur.N()),
+			rq:   make([]float64, d.Count),
+			xq:   make([]float64, d.Count),
+			tmp:  make([]float64, cur.N()),
+			tmp2: make([]float64, cur.N()),
+		}
+		for v := 0; v < cur.N(); v++ {
+			if vol := cur.Vol(v); vol > 0 {
+				l.dInv[v] = 1 / vol
+			}
+		}
+		l.start = make([]int, d.Count+1)
+		for _, c := range d.Assign {
+			l.start[c+1]++
+		}
+		for c := 0; c < d.Count; c++ {
+			l.start[c+1] += l.start[c]
+		}
+		l.order = make([]int, cur.N())
+		fill := append([]int(nil), l.start[:d.Count]...)
+		for v, c := range d.Assign {
+			l.order[fill[c]] = v
+			fill[c]++
+		}
+		h.levels = append(h.levels, l)
+		cur = cur.Contract(d.Assign, d.Count)
+	}
+	h.coarseG = cur
+	comp, ncomp := cur.Components()
+	lap := dense.FromRowMajor(cur.N(), cur.N(), cur.LapDense())
+	pin, err := dense.NewPinnedLaplacian(lap, comp, ncomp)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: coarse factorization failed: %w", err)
+	}
+	h.coarse = pin
+	h.cbuf = make([]float64, cur.N())
+	return h, nil
+}
+
+// Depth returns the number of clustering levels (excluding the direct
+// coarse solve).
+func (h *Hierarchy) Depth() int { return len(h.levels) }
+
+// CoarseSize returns the size of the directly solved coarsest graph.
+func (h *Hierarchy) CoarseSize() int { return h.coarseG.N() }
+
+// LevelSizes returns the vertex counts down the hierarchy, coarsest last.
+func (h *Hierarchy) LevelSizes() []int {
+	sizes := make([]int, 0, len(h.levels)+1)
+	for _, l := range h.levels {
+		sizes = append(sizes, l.G.N())
+	}
+	return append(sizes, h.coarseG.N())
+}
+
+// Dim returns the fine-level dimension.
+func (h *Hierarchy) Dim() int {
+	if len(h.levels) == 0 {
+		return h.coarseG.N()
+	}
+	return h.levels[0].G.N()
+}
+
+// Apply computes dst ≈ B⁺·r multilevel-recursively. It is a fixed symmetric
+// positive semidefinite linear operator, hence a valid stationary PCG
+// preconditioner.
+func (h *Hierarchy) Apply(dst, r []float64) {
+	h.applyLevel(0, dst, r)
+}
+
+func (h *Hierarchy) applyLevel(level int, dst, r []float64) {
+	if level == len(h.levels) {
+		h.coarse.Solve(dst, r)
+		return
+	}
+	l := h.levels[level]
+	n := l.G.N()
+	if l.smooth == 0 {
+		// Pure Steiner recursion: dst = D⁻¹r + R·coarse(Rᵀr).
+		restrict(l, r)
+		h.applyLevel(level+1, l.xq, l.rq)
+		for v := 0; v < n; v++ {
+			dst[v] = r[v]*l.dInv[v] + l.xq[l.D.Assign[v]]
+		}
+		return
+	}
+	// Symmetric V-cycle: damped-Jacobi pre-smooth (from zero), coarse
+	// correction, damped-Jacobi post-smooth. ω = 1/2 keeps I − ωD⁻¹A PSD
+	// since λmax(D⁻¹A) ≤ 2, so the cycle is SPD.
+	const omega = 0.5
+	x := dst
+	for v := 0; v < n; v++ {
+		x[v] = omega * r[v] * l.dInv[v]
+	}
+	for s := 1; s < l.smooth; s++ {
+		l.G.LapMul(l.tmp, x)
+		for v := 0; v < n; v++ {
+			x[v] += omega * (r[v] - l.tmp[v]) * l.dInv[v]
+		}
+	}
+	l.G.LapMul(l.tmp, x)
+	for v := 0; v < n; v++ {
+		l.tmp[v] = r[v] - l.tmp[v]
+	}
+	restrict(l, l.tmp)
+	h.applyLevel(level+1, l.xq, l.rq)
+	for v := 0; v < n; v++ {
+		x[v] += l.xq[l.D.Assign[v]]
+	}
+	for s := 0; s < l.smooth; s++ {
+		l.G.LapMul(l.tmp2, x)
+		for v := 0; v < n; v++ {
+			x[v] += omega * (r[v] - l.tmp2[v]) * l.dInv[v]
+		}
+	}
+}
+
+func restrict(l *Level, r []float64) {
+	par.For(len(l.rq), 512, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			acc := 0.0
+			for i := l.start[c]; i < l.start[c+1]; i++ {
+				acc += r[l.order[i]]
+			}
+			l.rq[c] = acc
+		}
+	})
+}

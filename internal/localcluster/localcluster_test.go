@@ -1,0 +1,113 @@
+package localcluster
+
+import (
+	"sort"
+	"testing"
+
+	"hcd/internal/graph"
+	"hcd/internal/workload"
+)
+
+// planted builds k cliques of size s joined in a ring by light edges.
+func planted(k, s int, win, wout float64) *graph.Graph {
+	var es []graph.Edge
+	id := func(b, i int) int { return b*s + i }
+	for b := 0; b < k; b++ {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				es = append(es, graph.Edge{U: id(b, i), V: id(b, j), W: win})
+			}
+		}
+		es = append(es, graph.Edge{U: id(b, 0), V: id((b+1)%k, 0), W: wout})
+	}
+	return graph.MustFromEdges(k*s, es)
+}
+
+func TestNibbleRecoversPlantedBlock(t *testing.T) {
+	g := planted(5, 12, 1, 0.01)
+	for _, seed := range []int{0, 13, 30, 59} {
+		res, err := Nibble(g, seed, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		block := seed / 12
+		want := make([]int, 12)
+		for i := range want {
+			want[i] = block*12 + i
+		}
+		if len(res.Cluster) != 12 {
+			t.Fatalf("seed %d: cluster size %d, want 12 (%v)", seed, len(res.Cluster), res.Cluster)
+		}
+		for i, v := range res.Cluster {
+			if v != want[i] {
+				t.Fatalf("seed %d: cluster %v, want the seed's block", seed, res.Cluster)
+			}
+		}
+		if res.Conductance > 0.01 {
+			t.Errorf("seed %d: conductance %v suspiciously high", seed, res.Conductance)
+		}
+	}
+}
+
+func TestNibbleStaysLocal(t *testing.T) {
+	// On a large graph with a well-separated block, the truncated walk must
+	// touch far fewer vertices than n.
+	g := planted(40, 10, 1, 0.001)
+	res, err := Nibble(g, 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Support > g.N()/2 {
+		t.Errorf("walk touched %d of %d vertices — not local", res.Support, g.N())
+	}
+}
+
+func TestNibbleSweepSparsityMatchesGraph(t *testing.T) {
+	// The reported conductance must equal the sparsity of the returned cut.
+	g := workload.Grid2D(10, 10, workload.Lognormal(1), 3)
+	res, err := Nibble(g, 42, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.CutSparsity(res.Cluster)
+	if diff := got - res.Conductance; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("reported %v vs recomputed %v", res.Conductance, got)
+	}
+}
+
+func TestNibbleValidation(t *testing.T) {
+	g := workload.Grid2D(4, 4, nil, 1)
+	if _, err := Nibble(g, -1, DefaultOptions()); err == nil {
+		t.Error("bad seed accepted")
+	}
+	iso := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}})
+	if _, err := Nibble(iso, 2, DefaultOptions()); err == nil {
+		t.Error("isolated seed accepted")
+	}
+	opt := DefaultOptions()
+	opt.Epsilon = 10 // prunes everything after the first spread
+	if _, err := Nibble(g, 0, opt); err == nil {
+		t.Error("over-pruning not reported")
+	}
+}
+
+func TestNibbleClusterIsSorted(t *testing.T) {
+	g := workload.Grid2D(8, 8, workload.Lognormal(1), 5)
+	res, err := Nibble(g, 20, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(res.Cluster) {
+		t.Error("cluster ids not sorted")
+	}
+}
+
+func BenchmarkNibble(b *testing.B) {
+	g := planted(50, 20, 1, 0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Nibble(g, 7, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package par provides the small set of parallel primitives used by the
+// "linear work, O(log n) parallel time" constructions of the paper: a
+// chunk-stealing parallel for, a parallel reduction, fork-join Do, and
+// prefix sums. Parallelism defaults to runtime.GOMAXPROCS(0) and degrades
+// gracefully to sequential execution for small inputs.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the minimum chunk size handed to a worker when the caller
+// does not specify one; it keeps scheduling overhead negligible relative to
+// per-element work.
+const DefaultGrain = 4096
+
+// Workers returns the degree of parallelism used by this package.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn over the chunked range [0, n) in parallel. Chunks have size
+// grain (DefaultGrain if grain <= 0) and are claimed with an atomic counter,
+// so uneven chunks balance automatically. fn must be safe to call
+// concurrently on disjoint ranges. For n <= grain the call is sequential.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	workers := Workers()
+	if n <= grain || workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, f := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// ReduceSum evaluates fn over chunks of [0, n) in parallel and returns the
+// sum of the per-chunk results. fn must return the partial sum for its range.
+func ReduceSum(n, grain int, fn func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if n <= grain || Workers() == 1 {
+		return fn(0, n)
+	}
+	chunks := (n + grain - 1) / grain
+	partial := make([]float64, chunks)
+	For(n, grain, func(lo, hi int) {
+		partial[lo/grain] = fn(lo, hi)
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// ReduceMin evaluates fn over chunks in parallel and returns the minimum of
+// the per-chunk results. For n == 0 it returns +Inf semantics via the
+// caller's fn; here we simply require n > 0.
+func ReduceMin(n, grain int, fn func(lo, hi int) float64) float64 {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if n <= grain || Workers() == 1 {
+		return fn(0, n)
+	}
+	chunks := (n + grain - 1) / grain
+	partial := make([]float64, chunks)
+	For(n, grain, func(lo, hi int) {
+		partial[lo/grain] = fn(lo, hi)
+	})
+	best := partial[0]
+	for _, p := range partial[1:] {
+		if p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// ExclusivePrefixSum replaces xs with its exclusive prefix sum and returns
+// the total. Sequential: prefix sums of the sizes seen here (≤ number of
+// vertices) are never the bottleneck, and a sequential scan is cache-optimal.
+func ExclusivePrefixSum(xs []int) int {
+	sum := 0
+	for i, x := range xs {
+		xs[i] = sum
+		sum += x
+	}
+	return sum
+}

@@ -1,0 +1,180 @@
+package par
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// forceParallel raises GOMAXPROCS so the multi-worker code paths execute
+// even on single-core hosts (goroutines still interleave correctly).
+func forceParallel(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestForParallelPath(t *testing.T) {
+	forceParallel(t)
+	n := 100000
+	hits := make([]int32, n)
+	For(n, 1000, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestReduceSumParallelPath(t *testing.T) {
+	forceParallel(t)
+	n := 50000
+	got := ReduceSum(n, 100, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	})
+	want := float64(n*(n-1)) / 2
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("parallel ReduceSum = %v, want %v", got, want)
+	}
+}
+
+func TestReduceMinParallelPath(t *testing.T) {
+	forceParallel(t)
+	n := 50000
+	got := ReduceMin(n, 100, func(lo, hi int) float64 {
+		m := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			v := float64((i*2654435761 + 7) % 1000001)
+			if i == 31337 {
+				v = -42
+			}
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	})
+	if got != -42 {
+		t.Errorf("parallel ReduceMin = %v, want -42", got)
+	}
+}
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 10000, 100001} {
+		hits := make([]int32, n)
+		For(n, 7, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForDefaultGrain(t *testing.T) {
+	var count atomic.Int64
+	For(100000, 0, func(lo, hi int) {
+		count.Add(int64(hi - lo))
+	})
+	if count.Load() != 100000 {
+		t.Errorf("covered %d of 100000", count.Load())
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(func() { a.Store(1) }, func() { b.Store(2) }, func() { c.Store(3) })
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Error("Do did not run all functions")
+	}
+	Do(func() { a.Store(9) }) // single-function fast path
+	if a.Load() != 9 {
+		t.Error("single Do failed")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 12345
+	got := ReduceSum(n, 100, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	})
+	want := float64(n*(n-1)) / 2
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("ReduceSum = %v, want %v", got, want)
+	}
+	if ReduceSum(0, 10, func(lo, hi int) float64 { return 1 }) != 0 {
+		t.Error("empty ReduceSum should be 0")
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = float64((i*7919)%5000) + 1
+	}
+	xs[3333] = -5
+	got := ReduceMin(len(xs), 64, func(lo, hi int) float64 {
+		m := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if xs[i] < m {
+				m = xs[i]
+			}
+		}
+		return m
+	})
+	if got != -5 {
+		t.Errorf("ReduceMin = %v, want -5", got)
+	}
+}
+
+func TestExclusivePrefixSum(t *testing.T) {
+	xs := []int{3, 1, 4, 1, 5}
+	total := ExclusivePrefixSum(xs)
+	if total != 14 {
+		t.Errorf("total = %d", total)
+	}
+	want := []int{0, 3, 4, 8, 9}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("prefix[%d] = %d, want %d", i, xs[i], want[i])
+		}
+	}
+	if ExclusivePrefixSum(nil) != 0 {
+		t.Error("empty prefix sum should be 0")
+	}
+}
+
+func BenchmarkForSum(b *testing.B) {
+	n := 1 << 20
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		_ = ReduceSum(n, 0, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		})
+	}
+}

@@ -1,0 +1,251 @@
+// Package randwalk implements the random-walk machinery motivating the
+// paper's Section 4: the transition operator P = W·D⁻¹ on probability
+// distributions, t-step evolutions and distribution mixtures (computable in
+// O(t·m) total, the paper's "global" alternative to per-vertex walks), lazy
+// walks, and per-cluster escape-mass measurements — the "particles get
+// trapped in high-conductance clusters" phenomenon that [φ, γ]
+// decompositions formalize.
+package randwalk
+
+import (
+	"fmt"
+	"math"
+
+	"hcd/internal/decomp"
+	"hcd/internal/graph"
+)
+
+// Walk evolves probability distributions under the natural random walk of a
+// graph: from vertex v, move to neighbor u with probability w(u,v)/vol(v).
+type Walk struct {
+	g    *graph.Graph
+	vol  []float64
+	lazy float64 // probability of staying put (0 = pure walk, 0.5 = lazy)
+	buf  []float64
+}
+
+// New returns a walk on g. laziness ∈ [0, 1) is the per-step holding
+// probability; 0.5 gives the standard lazy walk whose spectrum is
+// nonnegative.
+func New(g *graph.Graph, laziness float64) (*Walk, error) {
+	if laziness < 0 || laziness >= 1 {
+		return nil, fmt.Errorf("randwalk: laziness %v outside [0,1)", laziness)
+	}
+	return &Walk{g: g, vol: g.Volumes(), lazy: laziness, buf: make([]float64, g.N())}, nil
+}
+
+// Step advances the distribution p by one step into dst (they must not
+// alias). Isolated vertices hold their mass.
+func (w *Walk) Step(dst, p []float64) {
+	n := w.g.N()
+	if len(dst) != n || len(p) != n {
+		panic("randwalk: Step shape mismatch")
+	}
+	for u := 0; u < n; u++ {
+		acc := w.lazy * p[u]
+		nbr, wt := w.g.Neighbors(u)
+		for i, v := range nbr {
+			acc += (1 - w.lazy) * wt[i] / w.vol[v] * p[v]
+		}
+		if w.vol[u] == 0 {
+			acc = p[u]
+		}
+		dst[u] = acc
+	}
+}
+
+// Evolve advances p by t steps in place and returns it.
+func (w *Walk) Evolve(p []float64, t int) []float64 {
+	for s := 0; s < t; s++ {
+		w.Step(w.buf, p)
+		copy(p, w.buf)
+	}
+	return p
+}
+
+// Dirac returns the point distribution at v.
+func (w *Walk) Dirac(v int) []float64 {
+	p := make([]float64, w.g.N())
+	p[v] = 1
+	return p
+}
+
+// Stationary returns the stationary distribution π = vol/Σvol of the walk
+// (any laziness), or an error on a volume-free graph.
+func (w *Walk) Stationary() ([]float64, error) {
+	total := 0.0
+	for _, v := range w.vol {
+		total += v
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("randwalk: graph has no edges")
+	}
+	pi := make([]float64, len(w.vol))
+	for i, v := range w.vol {
+		pi[i] = v / total
+	}
+	return pi, nil
+}
+
+// Mixture builds the weighted mixture Σ aᵥ·eᵥ of point distributions and
+// normalizes it to total mass 1. Weights must be nonnegative with positive
+// sum. Evolving the mixture costs the same as evolving one distribution —
+// the paper's observation that arbitrary mixtures of t-step walks are
+// computable in time linear in t and m.
+func (w *Walk) Mixture(weights map[int]float64) ([]float64, error) {
+	p := make([]float64, w.g.N())
+	total := 0.0
+	for v, a := range weights {
+		if v < 0 || v >= w.g.N() {
+			return nil, fmt.Errorf("randwalk: vertex %d out of range", v)
+		}
+		if a < 0 {
+			return nil, fmt.Errorf("randwalk: negative mixture weight at %d", v)
+		}
+		p[v] += a
+		total += a
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("randwalk: mixture has no mass")
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p, nil
+}
+
+// ClusterMass returns the probability mass inside each cluster of d.
+func ClusterMass(d *decomp.Decomposition, p []float64) []float64 {
+	mass := make([]float64, d.Count)
+	for v, c := range d.Assign {
+		mass[c] += p[v]
+	}
+	return mass
+}
+
+// EscapeProfile starts the walk from the stationary distribution restricted
+// to cluster c and returns the mass remaining in c after 0..t steps. For a
+// cluster with boundary/volume ratio ψ = out(C)/vol(C), the retained mass
+// after t steps of the (1−lazy)-speed walk is at least 1 − (1−lazy)·t·ψ —
+// the trapping bound the experiments check.
+func (w *Walk) EscapeProfile(d *decomp.Decomposition, c int, t int) ([]float64, error) {
+	if c < 0 || c >= d.Count {
+		return nil, fmt.Errorf("randwalk: cluster %d out of range", c)
+	}
+	p := make([]float64, w.g.N())
+	total := 0.0
+	for v, cv := range d.Assign {
+		if cv == c {
+			p[v] = w.vol[v]
+			total += w.vol[v]
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("randwalk: cluster %d has zero volume", c)
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	profile := make([]float64, 0, t+1)
+	profile = append(profile, 1)
+	for s := 0; s < t; s++ {
+		w.Step(w.buf, p)
+		copy(p, w.buf)
+		in := 0.0
+		for v, cv := range d.Assign {
+			if cv == c {
+				in += p[v]
+			}
+		}
+		profile = append(profile, in)
+	}
+	return profile, nil
+}
+
+// BoundaryRatio returns ψ(C) = out(C)/vol(C) for cluster c — the per-step
+// escape rate from the stationary restriction.
+func BoundaryRatio(d *decomp.Decomposition, c int) float64 {
+	var vs []int
+	for v, cv := range d.Assign {
+		if cv == c {
+			vs = append(vs, v)
+		}
+	}
+	vol := d.G.VolSet(vs)
+	if vol == 0 {
+		return math.Inf(1)
+	}
+	return d.G.Out(vs) / vol
+}
+
+// WalkEmbedding implements the "global" program sketched at the end of the
+// paper's introduction and in Section 4: evolve k random mean-free mixtures
+// Σ aᵥ·eᵥ for t steps (O(t·m) each) and read off the volume-normalized
+// coordinates xⱼ(v) = (Pᵗ wⱼ)(v)/vol(v). After t = O(log n) steps the
+// coordinates are dominated by the low eigenvectors of the normalized
+// Laplacian, which Theorem 4.1 shows are nearly cluster-wise constant — so
+// vertices of one high-conductance cluster land close together in the
+// embedding. Returns k coordinate vectors of length n.
+func WalkEmbedding(g *graph.Graph, k, t int, laziness float64, seed int64) ([][]float64, error) {
+	if k < 1 || t < 0 {
+		return nil, fmt.Errorf("randwalk: bad embedding parameters k=%d t=%d", k, t)
+	}
+	w, err := New(g, laziness)
+	if err != nil {
+		return nil, err
+	}
+	rng := newSplitMix(seed)
+	n := g.N()
+	out := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		p := make([]float64, n)
+		mean := 0.0
+		for v := 0; v < n; v++ {
+			p[v] = rng.norm()
+			mean += p[v]
+		}
+		for v := range p {
+			p[v] -= mean / float64(n)
+		}
+		w.Evolve(p, t)
+		for v := 0; v < n; v++ {
+			if w.vol[v] > 0 {
+				p[v] /= w.vol[v]
+			}
+		}
+		out[j] = p
+	}
+	return out, nil
+}
+
+// splitMix is a tiny deterministic normal sampler (sum of 12 uniforms),
+// avoiding a math/rand dependency in the hot path.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{s: uint64(seed)*2862933555777941757 + 1} }
+
+func (r *splitMix) next() float64 {
+	r.s += 0x9e3779b97f4a7c15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+func (r *splitMix) norm() float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.next()
+	}
+	return s - 6
+}
+
+// TotalVariation returns ½‖p − q‖₁.
+func TotalVariation(p, q []float64) float64 {
+	s := 0.0
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}

@@ -1,0 +1,301 @@
+// Package solver provides conjugate gradients, preconditioned conjugate
+// gradients with residual histories (the instrument behind Figure 6),
+// Chebyshev iteration, and spectrum estimation from PCG coefficients (the
+// Lanczos connection used to measure condition numbers κ(A, B) throughout
+// the experiments).
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"hcd/internal/dense"
+	"hcd/internal/graph"
+)
+
+// Operator is a symmetric positive (semi)definite linear operator.
+type Operator interface {
+	Dim() int
+	Apply(dst, x []float64)
+}
+
+// Preconditioner applies an approximate inverse of an Operator.
+type Preconditioner interface {
+	Dim() int
+	Apply(dst, r []float64)
+}
+
+// OpFunc adapts a function to the Operator and Preconditioner interfaces.
+type OpFunc struct {
+	N int
+	F func(dst, x []float64)
+}
+
+// Dim returns the operator dimension.
+func (o OpFunc) Dim() int { return o.N }
+
+// Apply evaluates the wrapped function.
+func (o OpFunc) Apply(dst, x []float64) { o.F(dst, x) }
+
+// LapOperator wraps a graph Laplacian as an Operator.
+func LapOperator(g *graph.Graph) Operator {
+	return OpFunc{N: g.N(), F: g.LapMul}
+}
+
+// Identity is the trivial preconditioner (PCG degenerates to CG).
+func Identity(n int) Preconditioner {
+	return OpFunc{N: n, F: func(dst, r []float64) { copy(dst, r) }}
+}
+
+// Jacobi returns the diagonal preconditioner D⁻¹ for the graph Laplacian.
+// Vertices with zero volume (isolated) pass through unchanged.
+func Jacobi(g *graph.Graph) Preconditioner {
+	d := g.Volumes()
+	return OpFunc{N: g.N(), F: func(dst, r []float64) {
+		for i := range dst {
+			if d[i] > 0 {
+				dst[i] = r[i] / d[i]
+			} else {
+				dst[i] = r[i]
+			}
+		}
+	}}
+}
+
+// Options controls the iteration.
+type Options struct {
+	Tol         float64 // relative residual tolerance (default 1e-8)
+	MaxIter     int     // default 10·n
+	ProjectMean bool    // keep iterates ⊥ 1 (for singular Laplacian systems)
+}
+
+// DefaultOptions returns the standard Laplacian-solve settings.
+func DefaultOptions() Options {
+	return Options{Tol: 1e-8, MaxIter: 0, ProjectMean: true}
+}
+
+// Result reports a completed solve.
+type Result struct {
+	X          []float64
+	Residuals  []float64 // ‖r_i‖₂ for i = 0..Iterations
+	Iterations int
+	Converged  bool
+	// Alphas and Betas are the PCG coefficients; they define a Lanczos
+	// tridiagonal whose eigenvalues estimate the spectrum of M⁻¹A (see
+	// SpectrumEstimate).
+	Alphas, Betas []float64
+}
+
+// CG solves A·x = b with plain conjugate gradients.
+func CG(a Operator, b []float64, opt Options) Result {
+	return PCG(a, Identity(a.Dim()), b, opt)
+}
+
+// PCG solves A·x = b with preconditioned conjugate gradients. For singular
+// Laplacian operators set opt.ProjectMean so the right-hand side and
+// iterates stay orthogonal to the constant vector.
+func PCG(a Operator, m Preconditioner, b []float64, opt Options) Result {
+	n := a.Dim()
+	if len(b) != n || m.Dim() != n {
+		panic("solver: dimension mismatch")
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10*n + 50
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	rawNorm := norm2(r)
+	if opt.ProjectMean {
+		projectMean(r)
+	}
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	res := Result{X: x}
+	normB := norm2(r)
+	res.Residuals = append(res.Residuals, normB)
+	// A right-hand side that is (numerically) all null-space component has
+	// nothing left to solve after projection.
+	if normB == 0 || normB <= 1e-13*rawNorm {
+		res.Converged = true
+		return res
+	}
+	m.Apply(z, r)
+	if opt.ProjectMean {
+		projectMean(z)
+	}
+	copy(p, z)
+	rz := dot(r, z)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		a.Apply(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Numerical breakdown (or exact solution already reached).
+			break
+		}
+		alpha := rz / pap
+		res.Alphas = append(res.Alphas, alpha)
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		if opt.ProjectMean {
+			projectMean(r)
+		}
+		rn := norm2(r)
+		res.Residuals = append(res.Residuals, rn)
+		res.Iterations = iter + 1
+		if rn <= opt.Tol*normB {
+			res.Converged = true
+			break
+		}
+		m.Apply(z, r)
+		if opt.ProjectMean {
+			projectMean(z)
+		}
+		rzNew := dot(r, z)
+		if rzNew <= 0 || math.IsNaN(rzNew) {
+			break
+		}
+		beta := rzNew / rz
+		res.Betas = append(res.Betas, beta)
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	return res
+}
+
+// Chebyshev runs Chebyshev iteration for A·x = b given bounds
+// [lmin, lmax] on the spectrum of M⁻¹A. It needs no inner products, making
+// it the classical communication-free companion to the parallel
+// preconditioners of Section 3.1.
+func Chebyshev(a Operator, m Preconditioner, b []float64, lmin, lmax float64, iters int, projectMeanFlag bool) ([]float64, []float64, error) {
+	if !(lmin > 0) || !(lmax >= lmin) {
+		return nil, nil, fmt.Errorf("solver: invalid eigenvalue bounds [%v, %v]", lmin, lmax)
+	}
+	n := a.Dim()
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	if projectMeanFlag {
+		projectMean(r)
+	}
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ax := make([]float64, n)
+	theta := (lmax + lmin) / 2
+	delta := (lmax - lmin) / 2
+	var alpha, beta float64
+	residuals := []float64{norm2(r)}
+	for k := 0; k < iters; k++ {
+		m.Apply(z, r)
+		if projectMeanFlag {
+			projectMean(z)
+		}
+		switch k {
+		case 0:
+			copy(p, z)
+			alpha = 1 / theta
+		case 1:
+			beta = 0.5 * (delta * alpha) * (delta * alpha)
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = z[i] + beta*p[i]
+			}
+		default:
+			beta = (delta * alpha / 2) * (delta * alpha / 2)
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = z[i] + beta*p[i]
+			}
+		}
+		axpy(x, alpha, p)
+		a.Apply(ax, x)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		if projectMeanFlag {
+			projectMean(r)
+		}
+		residuals = append(residuals, norm2(r))
+	}
+	return x, residuals, nil
+}
+
+// SpectrumEstimate converts PCG coefficients into estimates of the extreme
+// generalized eigenvalues of (A, M): the Lanczos tridiagonal built from the
+// α and β sequences has eigenvalues (Ritz values) inside the spectrum of
+// M⁻¹A that converge to its extremes. Returns (λmin, λmax).
+func SpectrumEstimate(alphas, betas []float64) (float64, float64, error) {
+	k := len(alphas)
+	if k == 0 {
+		return 0, 0, fmt.Errorf("solver: no PCG coefficients")
+	}
+	d := make([]float64, k)
+	e := make([]float64, k-1)
+	for j := 0; j < k; j++ {
+		d[j] = 1 / alphas[j]
+		if j > 0 {
+			d[j] += betas[j-1] / alphas[j-1]
+		}
+	}
+	for j := 0; j+1 < k; j++ {
+		e[j] = math.Sqrt(betas[j]) / alphas[j]
+	}
+	vals, err := dense.TridiagEig(d, e)
+	if err != nil {
+		return 0, 0, err
+	}
+	return vals[0], vals[len(vals)-1], nil
+}
+
+// ConditionEstimate runs PCG on a random ±-mean-free right-hand side and
+// returns the estimated condition number κ(M⁻¹A) = λmax/λmin. The rhs
+// argument supplies the probe vector (it will be mean-projected).
+func ConditionEstimate(a Operator, m Preconditioner, probe []float64, iters int) (float64, error) {
+	opt := Options{Tol: 1e-14, MaxIter: iters, ProjectMean: true}
+	res := PCG(a, m, probe, opt)
+	lmin, lmax, err := SpectrumEstimate(res.Alphas, res.Betas)
+	if err != nil {
+		return 0, err
+	}
+	if lmin <= 0 {
+		return math.Inf(1), nil
+	}
+	return lmax / lmin, nil
+}
+
+func projectMean(x []float64) {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	mean := s / float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+func norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(y []float64, a float64, x []float64) {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}

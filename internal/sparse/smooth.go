@@ -1,0 +1,49 @@
+package sparse
+
+// Smoothers for Laplacian-like systems A·x = b. Both sweeps assume A stores
+// its diagonal explicitly and the diagonal is strictly positive on rows that
+// have off-diagonal entries; rows with zero diagonal are skipped (isolated
+// vertices of a Laplacian).
+
+// JacobiSweep performs one damped Jacobi iteration
+// x ← x + ω·D⁻¹(b − A·x), writing the result into x and using scratch (same
+// length) as workspace.
+func JacobiSweep(a *CSR, x, b, scratch []float64, omega float64) {
+	a.MulVec(scratch, x)
+	for i := 0; i < a.Rows; i++ {
+		d := a.At(i, i)
+		if d <= 0 {
+			continue
+		}
+		x[i] += omega * (b[i] - scratch[i]) / d
+	}
+}
+
+// GaussSeidelSweep performs one forward Gauss–Seidel sweep in place. When
+// backward is true it sweeps rows in reverse order (use a forward+backward
+// pair for a symmetric smoother inside PCG).
+func GaussSeidelSweep(a *CSR, x, b []float64, backward bool) {
+	update := func(i int) {
+		var diag, acc float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j == i {
+				diag = a.Val[k]
+			} else {
+				acc += a.Val[k] * x[j]
+			}
+		}
+		if diag > 0 {
+			x[i] = (b[i] - acc) / diag
+		}
+	}
+	if backward {
+		for i := a.Rows - 1; i >= 0; i-- {
+			update(i)
+		}
+	} else {
+		for i := 0; i < a.Rows; i++ {
+			update(i)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hcd/internal/graph"
+)
+
+func randomConnected(rng *rand.Rand, n, extra int) *graph.Graph {
+	var es []graph.Edge
+	for v := 1; v < n; v++ {
+		es = append(es, graph.Edge{U: rng.Intn(v), V: v, W: 0.5 + rng.Float64()})
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			es = append(es, graph.Edge{U: u, V: v, W: 0.5 + rng.Float64()})
+		}
+	}
+	return graph.MustFromEdges(n, es)
+}
+
+func TestTripletAssemblyAndAt(t *testing.T) {
+	m, err := NewFromTriplets(2, 3, []Triplet{
+		{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {0, 2, 0.5}, // duplicate (0,2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 2) != 2.5 || m.At(1, 1) != 3 || m.At(1, 0) != 0 {
+		t.Errorf("At values wrong: %v %v %v", m.At(0, 2), m.At(1, 1), m.At(1, 0))
+	}
+	if _, err := NewFromTriplets(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Error("out-of-range triplet accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := NewFromTriplets(2, 2, []Triplet{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}, {1, 1, 4}})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Errorf("MulVec = %v", dst)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ts []Triplet
+	for i := 0; i < 200; i++ {
+		ts = append(ts, Triplet{Row: rng.Intn(13), Col: rng.Intn(17), Val: rng.NormFloat64()})
+	}
+	m, _ := NewFromTriplets(13, 17, ts)
+	tt := m.Transpose().Transpose()
+	if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+		t.Fatal("shape changed under double transpose")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if tt.At(i, m.ColIdx[k]) != m.Val[k] {
+				t.Fatalf("entry (%d,%d) changed", i, m.ColIdx[k])
+			}
+		}
+	}
+}
+
+func TestMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ra, ca, cb := 9, 7, 11
+	var ta, tb []Triplet
+	da := make([]float64, ra*ca)
+	db := make([]float64, ca*cb)
+	for i := 0; i < 40; i++ {
+		r, c, v := rng.Intn(ra), rng.Intn(ca), rng.NormFloat64()
+		ta = append(ta, Triplet{r, c, v})
+		da[r*ca+c] += v
+	}
+	for i := 0; i < 40; i++ {
+		r, c, v := rng.Intn(ca), rng.Intn(cb), rng.NormFloat64()
+		tb = append(tb, Triplet{r, c, v})
+		db[r*cb+c] += v
+	}
+	a, _ := NewFromTriplets(ra, ca, ta)
+	b, _ := NewFromTriplets(ca, cb, tb)
+	prod := a.Mul(b)
+	for i := 0; i < ra; i++ {
+		for j := 0; j < cb; j++ {
+			want := 0.0
+			for k := 0; k < ca; k++ {
+				want += da[i*ca+k] * db[k*cb+j]
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-10 {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, prod.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestLaplacianMatchesGraphOperator(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(rng, 30, 40)
+	a := Laplacian(g)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, g.N())
+	g.LapMul(want, x)
+	got := make([]float64, g.N())
+	a.MulVec(got, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIndicatorShape(t *testing.T) {
+	r := Indicator([]int{0, 1, 1, 2}, 3)
+	if r.Rows != 4 || r.Cols != 3 || r.NNZ() != 4 {
+		t.Fatalf("indicator shape wrong")
+	}
+	if r.At(2, 1) != 1 || r.At(2, 0) != 0 {
+		t.Error("indicator entries wrong")
+	}
+}
+
+// The key algebraic identity of Definition 3.1 / Remark 1: RᵀAR is the
+// Laplacian of the contracted (quotient) graph.
+func TestQuotientLaplacianEqualsContraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for it := 0; it < 10; it++ {
+		g := randomConnected(rng, 25, 30)
+		m := 5
+		assign := make([]int, g.N())
+		for v := range assign {
+			assign[v] = rng.Intn(m)
+		}
+		q := QuotientLaplacian(Laplacian(g), Indicator(assign, m))
+		qg := g.Contract(assign, m)
+		lq := Laplacian(qg)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				got, want := q.At(i, j), lq.At(i, j)
+				if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Fatalf("quotient (%d,%d): RᵀAR=%v contraction=%v", i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJacobiSweepReducesResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnected(rng, 50, 80)
+	a := Laplacian(g)
+	n := g.N()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	x := make([]float64, n)
+	scratch := make([]float64, n)
+	res := func() float64 {
+		a.MulVec(scratch, x)
+		s := 0.0
+		for i := range scratch {
+			d := scratch[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	r0 := res()
+	for i := 0; i < 30; i++ {
+		JacobiSweep(a, x, b, scratch, 2.0/3.0)
+	}
+	if r1 := res(); r1 >= r0*0.9 {
+		t.Errorf("Jacobi did not reduce residual: %v -> %v", r0, r1)
+	}
+}
+
+func TestGaussSeidelSweepReducesResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomConnected(rng, 50, 80)
+	a := Laplacian(g)
+	n := g.N()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	x := make([]float64, n)
+	scratch := make([]float64, n)
+	res := func() float64 {
+		a.MulVec(scratch, x)
+		s := 0.0
+		for i := range scratch {
+			d := scratch[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	r0 := res()
+	for i := 0; i < 15; i++ {
+		GaussSeidelSweep(a, x, b, false)
+		GaussSeidelSweep(a, x, b, true)
+	}
+	if r1 := res(); r1 >= r0*0.5 {
+		t.Errorf("Gauss-Seidel did not reduce residual: %v -> %v", r0, r1)
+	}
+}
+
+func BenchmarkSpMVGrid(b *testing.B) {
+	// 100x100 grid graph Laplacian SpMV.
+	var es []graph.Edge
+	id := func(i, j int) int { return i*100 + j }
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 100; j++ {
+			if i+1 < 100 {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i+1, j), W: 1})
+			}
+			if j+1 < 100 {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i, j+1), W: 1})
+			}
+		}
+	}
+	g := graph.MustFromEdges(100*100, es)
+	a := Laplacian(g)
+	x := make([]float64, g.N())
+	dst := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i % 31)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(dst, x)
+	}
+}
+
+func BenchmarkQuotientTripleProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnected(rng, 5000, 10000)
+	a := Laplacian(g)
+	assign := make([]int, g.N())
+	for v := range assign {
+		assign[v] = v / 4
+	}
+	r := Indicator(assign, (g.N()+3)/4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = QuotientLaplacian(a, r)
+	}
+}

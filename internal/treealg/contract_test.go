@@ -1,0 +1,144 @@
+package treealg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hcd/internal/graph"
+)
+
+func totalWeight(g *graph.Graph) float64 {
+	t := 0.0
+	for _, e := range g.Edges() {
+		t += e.W
+	}
+	return t
+}
+
+func TestContractTreeAccumulatesTotalWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for it := 0; it < 30; it++ {
+		n := 1 + rng.Intn(300)
+		g := RandomTree(rng, n, func() float64 { return 0.1 + rng.Float64()*5 })
+		root := rng.Intn(n)
+		c, err := ContractTree(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c.Acc[root]-totalWeight(g)) > 1e-9 {
+			t.Fatalf("n=%d: Acc[root] = %v, want %v", n, c.Acc[root], totalWeight(g))
+		}
+	}
+}
+
+func TestContractTreeLogRoundsOnPaths(t *testing.T) {
+	// Paths are the pure-compress worst case; rounds must stay O(log n).
+	for _, n := range []int{10, 100, 1000, 10000} {
+		es := make([]graph.Edge, 0, n-1)
+		for i := 0; i < n-1; i++ {
+			es = append(es, graph.Edge{U: i, V: i + 1, W: 1 + float64(i%7)})
+		}
+		g := graph.MustFromEdges(n, es)
+		c, err := ContractTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logN := math.Log2(float64(n))
+		if float64(c.Rounds) > 8*logN+16 {
+			t.Errorf("n=%d: %d rounds (> 8·log n + 16)", n, c.Rounds)
+		}
+		if math.Abs(c.Acc[0]-totalWeight(g)) > 1e-9 {
+			t.Errorf("n=%d: wrong total", n)
+		}
+	}
+}
+
+func TestContractTreeLogRoundsOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{100, 1000, 20000} {
+		g := RandomTree(rng, n, nil)
+		c, err := ContractTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(c.Rounds) > 8*math.Log2(float64(n))+16 {
+			t.Errorf("n=%d: %d rounds", n, c.Rounds)
+		}
+	}
+}
+
+func TestContractTreeRoundSizesDecrease(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomTree(rng, 500, nil)
+	c, err := ContractTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := g.N()
+	for i, s := range c.RoundSizes {
+		if s >= prev {
+			t.Fatalf("round %d did not shrink: %d -> %d", i, prev, s)
+		}
+		prev = s
+	}
+	if prev != 1 {
+		t.Errorf("contraction ended with %d alive vertices", prev)
+	}
+}
+
+func TestContractTreeTrivial(t *testing.T) {
+	single := graph.MustFromEdges(1, nil)
+	c, err := ContractTree(single, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds != 0 {
+		t.Errorf("singleton took %d rounds", c.Rounds)
+	}
+	edge := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, W: 4}})
+	c, err = ContractTree(edge, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Acc[1]-4) > 1e-12 {
+		t.Errorf("edge Acc = %v", c.Acc[1])
+	}
+}
+
+func TestContractTreeRejectsNonTree(t *testing.T) {
+	cyc := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 1}})
+	if _, err := ContractTree(cyc, 0); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestContractStarAndCaterpillar(t *testing.T) {
+	// Star: one rake round finishes everything.
+	var es []graph.Edge
+	for i := 1; i < 50; i++ {
+		es = append(es, graph.Edge{U: 0, V: i, W: 2})
+	}
+	star := graph.MustFromEdges(50, es)
+	c, err := ContractTree(star, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds != 1 {
+		t.Errorf("star took %d rounds, want 1", c.Rounds)
+	}
+	if math.Abs(c.Acc[0]-98) > 1e-12 {
+		t.Errorf("star total = %v", c.Acc[0])
+	}
+}
+
+func BenchmarkContractTree100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := RandomTree(rng, 100000, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ContractTree(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

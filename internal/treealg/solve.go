@@ -1,0 +1,81 @@
+package treealg
+
+// Solver is an exact O(n) direct solver for tree (forest) Laplacian systems
+// A_T·x = b: one upward elimination pass accumulates subtree sums of b, one
+// downward pass back-substitutes. For right-hand sides orthogonal to the
+// constant vector on each component it returns the zero-mean solution,
+// matching the pseudo-inverse. Tree preconditioners apply through this.
+type Solver struct {
+	r        *Rooted
+	acc      []float64
+	comp     []int
+	compSize []int
+	compSum  []float64
+}
+
+// NewSolver prepares a solver for the rooted forest r.
+func NewSolver(r *Rooted) *Solver {
+	s := &Solver{r: r, acc: make([]float64, r.G.N())}
+	s.comp = s.componentOf()
+	s.compSize = make([]int, len(r.Roots))
+	s.compSum = make([]float64, len(r.Roots))
+	for _, c := range s.comp {
+		s.compSize[c]++
+	}
+	return s
+}
+
+// Solve writes the zero-mean (per component) solution of A_T·x = b into dst.
+// dst and b may alias. b must be orthogonal to the constant vector on every
+// component up to roundoff; the component sums of b are folded out so the
+// solve is exact for the projected right-hand side.
+func (s *Solver) Solve(dst, b []float64) {
+	r := s.r
+	n := r.G.N()
+	if len(dst) != n || len(b) != n {
+		panic("treealg: Solve shape mismatch")
+	}
+	copy(s.acc, b)
+	// Upward: acc[v] becomes the subtree sum of b under v.
+	for i := len(r.Order) - 1; i >= 0; i-- {
+		v := r.Order[i]
+		if p := r.Parent[v]; p >= 0 {
+			s.acc[p] += s.acc[v]
+		}
+	}
+	// Downward: x[v] = x[parent] + acc[v]/w(v, parent); roots at 0.
+	for _, v := range r.Order {
+		if p := r.Parent[v]; p >= 0 {
+			dst[v] = dst[p] + s.acc[v]/r.PWeight[v]
+		} else {
+			dst[v] = 0
+		}
+	}
+	// De-mean each component so the result matches the pseudo-inverse.
+	for i := range s.compSum {
+		s.compSum[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		s.compSum[s.comp[v]] += dst[v]
+	}
+	for v := 0; v < n; v++ {
+		dst[v] -= s.compSum[s.comp[v]] / float64(s.compSize[s.comp[v]])
+	}
+}
+
+func (s *Solver) componentOf() []int {
+	r := s.r
+	comp := make([]int, r.G.N())
+	rootIdx := make(map[int]int, len(r.Roots))
+	for i, root := range r.Roots {
+		rootIdx[root] = i
+	}
+	for _, v := range r.Order {
+		if p := r.Parent[v]; p >= 0 {
+			comp[v] = comp[p]
+		} else {
+			comp[v] = rootIdx[v]
+		}
+	}
+	return comp
+}

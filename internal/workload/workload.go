@@ -1,0 +1,279 @@
+// Package workload generates the graph families used by the paper's
+// evaluation and by this repo's tests and benchmarks: weighted 2D/3D grids
+// (the regular meshes of Section 3.2), synthetic 3D optical coherence
+// tomography volumes with layered structure and multiplicative speckle noise
+// (the stand-in for the paper's proprietary OCT scans), random d-regular
+// graphs (the fixed-degree class of Section 3.1), planar triangulated grids,
+// and a few special tree shapes.
+//
+// All generators are deterministic given their seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hcd/internal/graph"
+)
+
+// Grid2D returns an nx×ny grid graph. Edge weights are drawn by wf; pass nil
+// for unit weights.
+func Grid2D(nx, ny int, wf func(rng *rand.Rand) float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	id := func(i, j int) int { return i*ny + j }
+	es := make([]graph.Edge, 0, 2*nx*ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if i+1 < nx {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i+1, j), W: draw()})
+			}
+			if j+1 < ny {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i, j+1), W: draw()})
+			}
+		}
+	}
+	return graph.MustFromEdges(nx*ny, es)
+}
+
+// Grid3D returns an nx×ny×nz grid graph with weights drawn by wf (nil for
+// unit weights). This is the paper's "weighted 3D regular grid".
+func Grid3D(nx, ny, nz int, wf func(rng *rand.Rand) float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	es := make([]graph.Edge, 0, 3*nx*ny*nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				if i+1 < nx {
+					es = append(es, graph.Edge{U: id(i, j, k), V: id(i+1, j, k), W: draw()})
+				}
+				if j+1 < ny {
+					es = append(es, graph.Edge{U: id(i, j, k), V: id(i, j+1, k), W: draw()})
+				}
+				if k+1 < nz {
+					es = append(es, graph.Edge{U: id(i, j, k), V: id(i, j, k+1), W: draw()})
+				}
+			}
+		}
+	}
+	return graph.MustFromEdges(nx*ny*nz, es)
+}
+
+// Grid3DAnisotropic returns a 3D grid whose x/y/z edges carry fixed weights
+// wx/wy/wz — the classic hard case for pointwise smoothers.
+func Grid3DAnisotropic(nx, ny, nz int, wx, wy, wz float64) *graph.Graph {
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	es := make([]graph.Edge, 0, 3*nx*ny*nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				if i+1 < nx {
+					es = append(es, graph.Edge{U: id(i, j, k), V: id(i+1, j, k), W: wx})
+				}
+				if j+1 < ny {
+					es = append(es, graph.Edge{U: id(i, j, k), V: id(i, j+1, k), W: wy})
+				}
+				if k+1 < nz {
+					es = append(es, graph.Edge{U: id(i, j, k), V: id(i, j, k+1), W: wz})
+				}
+			}
+		}
+	}
+	return graph.MustFromEdges(nx*ny*nz, es)
+}
+
+// OCTOptions configures the synthetic optical-coherence-tomography volume.
+type OCTOptions struct {
+	Layers     int     // number of tissue layers stacked along z (≥ 1)
+	Contrast   float64 // ratio between adjacent layer conductivities (e.g. 100)
+	NoiseSigma float64 // σ of multiplicative lognormal speckle noise (e.g. 1.0)
+	Seed       int64
+}
+
+// DefaultOCTOptions mirrors the regime the paper describes: "very large
+// weight variations ... both at a global and a local scale (due to noise)".
+func DefaultOCTOptions() OCTOptions {
+	return OCTOptions{Layers: 4, Contrast: 100, NoiseSigma: 1.0, Seed: 1}
+}
+
+// OCT3D returns an nx×ny×nz grid whose vertex conductivities follow layered
+// tissue (global variation: each deeper layer divides conductivity by
+// Contrast) corrupted by multiplicative lognormal speckle (local variation).
+// Edge weights are geometric means of endpoint conductivities, so weights
+// span Contrast^(Layers−1)·e^(O(σ)) orders of magnitude.
+func OCT3D(nx, ny, nz int, opt OCTOptions) *graph.Graph {
+	if opt.Layers < 1 {
+		opt.Layers = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	n := nx * ny * nz
+	cond := make([]float64, n)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				layer := k * opt.Layers / maxInt(nz, 1)
+				base := math.Pow(opt.Contrast, -float64(layer))
+				speckle := math.Exp(rng.NormFloat64() * opt.NoiseSigma)
+				cond[id(i, j, k)] = base * speckle
+			}
+		}
+	}
+	es := make([]graph.Edge, 0, 3*n)
+	link := func(a, b int) {
+		es = append(es, graph.Edge{U: a, V: b, W: math.Sqrt(cond[a] * cond[b])})
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				if i+1 < nx {
+					link(id(i, j, k), id(i+1, j, k))
+				}
+				if j+1 < ny {
+					link(id(i, j, k), id(i, j+1, k))
+				}
+				if k+1 < nz {
+					link(id(i, j, k), id(i, j, k+1))
+				}
+			}
+		}
+	}
+	return graph.MustFromEdges(n, es)
+}
+
+// GridDiag2D returns an nx×ny grid with one random diagonal added per unit
+// cell: a planar triangulated mesh. Weights are drawn by wf (nil for unit).
+func GridDiag2D(nx, ny int, wf func(rng *rand.Rand) float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	id := func(i, j int) int { return i*ny + j }
+	var es []graph.Edge
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if i+1 < nx {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i+1, j), W: draw()})
+			}
+			if j+1 < ny {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i, j+1), W: draw()})
+			}
+			if i+1 < nx && j+1 < ny {
+				if rng.Intn(2) == 0 {
+					es = append(es, graph.Edge{U: id(i, j), V: id(i+1, j+1), W: draw()})
+				} else {
+					es = append(es, graph.Edge{U: id(i+1, j), V: id(i, j+1), W: draw()})
+				}
+			}
+		}
+	}
+	return graph.MustFromEdges(nx*ny, es)
+}
+
+// RandomRegular returns a random simple d-regular graph on n vertices via
+// the configuration model with restarts (n·d must be even, d < n). Weights
+// are drawn by wf (nil for unit).
+func RandomRegular(n, d int, wf func(rng *rand.Rand) float64, seed int64) (*graph.Graph, error) {
+	if d < 0 || d >= n || (n*d)%2 != 0 {
+		return nil, fmt.Errorf("workload: invalid regular graph parameters n=%d d=%d", n, d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	const maxAttempts = 500
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		seen := make(map[[2]int]bool, n*d/2)
+		var es []graph.Edge
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			key := [2]int{minInt(u, v), maxInt(u, v)}
+			if seen[key] {
+				ok = false
+				break
+			}
+			seen[key] = true
+			es = append(es, graph.Edge{U: u, V: v, W: draw()})
+		}
+		if ok {
+			return graph.MustFromEdges(n, es), nil
+		}
+	}
+	return nil, fmt.Errorf("workload: failed to build %d-regular graph on %d vertices after %d attempts", d, n, maxAttempts)
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs leaves attached to every spine vertex; unit weights unless wf given.
+func Caterpillar(spine, legs int, wf func(rng *rand.Rand) float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	n := spine * (1 + legs)
+	var es []graph.Edge
+	for i := 0; i < spine-1; i++ {
+		es = append(es, graph.Edge{U: i, V: i + 1, W: draw()})
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			es = append(es, graph.Edge{U: i, V: next, W: draw()})
+			next++
+		}
+	}
+	return graph.MustFromEdges(n, es)
+}
+
+// BinaryTree returns a complete binary tree with the given number of levels
+// (level 1 is a single vertex).
+func BinaryTree(levels int, wf func(rng *rand.Rand) float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	n := (1 << levels) - 1
+	var es []graph.Edge
+	for v := 1; v < n; v++ {
+		es = append(es, graph.Edge{U: (v - 1) / 2, V: v, W: draw()})
+	}
+	return graph.MustFromEdges(n, es)
+}
+
+// Lognormal returns a weight sampler exp(σ·N(0,1)); the paper's large-
+// variation regime uses σ ≥ 1.
+func Lognormal(sigma float64) func(rng *rand.Rand) float64 {
+	return func(rng *rand.Rand) float64 { return math.Exp(rng.NormFloat64() * sigma) }
+}
+
+// UniformWeight returns a sampler of Uniform(lo, hi) weights.
+func UniformWeight(lo, hi float64) func(rng *rand.Rand) float64 {
+	return func(rng *rand.Rand) float64 { return lo + rng.Float64()*(hi-lo) }
+}
+
+func unitOr(wf func(rng *rand.Rand) float64, rng *rand.Rand) func() float64 {
+	if wf == nil {
+		return func() float64 { return 1 }
+	}
+	return func() float64 { return wf(rng) }
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrid2DShape(t *testing.T) {
+	g := Grid2D(4, 5, nil, 1)
+	if g.N() != 20 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edges: 3*5 vertical + 4*4 horizontal = 31.
+	if g.M() != 31 {
+		t.Fatalf("M = %d, want 31", g.M())
+	}
+	if !g.Connected() {
+		t.Error("grid disconnected")
+	}
+	// Corner degree 2, interior degree 4.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d", g.Degree(0))
+	}
+	if g.Degree(1*5+1) != 4 {
+		t.Errorf("interior degree = %d", g.Degree(6))
+	}
+}
+
+func TestGrid3DShape(t *testing.T) {
+	g := Grid3D(3, 4, 5, nil, 1)
+	if g.N() != 60 {
+		t.Fatalf("N = %d", g.N())
+	}
+	want := 2*4*5 + 3*3*5 + 3*4*4 // x-, y-, z-direction edge counts
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if !g.Connected() {
+		t.Error("grid disconnected")
+	}
+	if g.MaxDegree() != 6 {
+		t.Errorf("max degree = %d, want 6", g.MaxDegree())
+	}
+}
+
+func TestGridDeterminism(t *testing.T) {
+	a := Grid3D(4, 4, 4, Lognormal(1), 42)
+	b := Grid3D(4, 4, 4, Lognormal(1), 42)
+	c := Grid3D(4, 4, 4, Lognormal(1), 43)
+	ea, eb, ec := a.Edges(), b.Edges(), c.Edges()
+	diff := false
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+		if ea[i].W != ec[i].W {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical weights")
+	}
+}
+
+func TestAnisotropicWeights(t *testing.T) {
+	g := Grid3DAnisotropic(2, 2, 2, 1, 10, 100)
+	// Edge along z between (0,0,0)=0 and (0,0,1)=1 must weigh 100.
+	if w, ok := g.Weight(0, 1); !ok || w != 100 {
+		t.Errorf("z edge weight = %v", w)
+	}
+	// y edge between (0,0,0)=0 and (0,1,0)=2 weighs 10.
+	if w, ok := g.Weight(0, 2); !ok || w != 10 {
+		t.Errorf("y edge weight = %v", w)
+	}
+	// x edge between (0,0,0)=0 and (1,0,0)=4 weighs 1.
+	if w, ok := g.Weight(0, 4); !ok || w != 1 {
+		t.Errorf("x edge weight = %v", w)
+	}
+}
+
+func TestOCT3DWeightVariation(t *testing.T) {
+	g := OCT3D(6, 6, 12, OCTOptions{Layers: 4, Contrast: 100, NoiseSigma: 1, Seed: 7})
+	if !g.Connected() {
+		t.Fatal("OCT volume disconnected")
+	}
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	for _, e := range g.Edges() {
+		if e.W < minW {
+			minW = e.W
+		}
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	// Layered contrast 100^3 = 1e6 plus speckle: expect ≥ 5 orders of
+	// magnitude spread.
+	if maxW/minW < 1e5 {
+		t.Errorf("weight spread only %.2g", maxW/minW)
+	}
+}
+
+func TestOCT3DLayerMonotonicity(t *testing.T) {
+	// With zero noise, deeper layers must have strictly lighter edges.
+	g := OCT3D(2, 2, 8, OCTOptions{Layers: 4, Contrast: 10, NoiseSigma: 0, Seed: 1})
+	id := func(i, j, k int) int { return (i*2+j)*8 + k }
+	w0, _ := g.Weight(id(0, 0, 0), id(0, 0, 1))
+	w7, _ := g.Weight(id(0, 0, 6), id(0, 0, 7))
+	if !(w0 > w7) {
+		t.Errorf("surface edge %v not heavier than deep edge %v", w0, w7)
+	}
+}
+
+func TestGridDiag2DPlanarCounts(t *testing.T) {
+	nx, ny := 6, 7
+	g := GridDiag2D(nx, ny, nil, 3)
+	if g.N() != nx*ny {
+		t.Fatalf("N = %d", g.N())
+	}
+	wantEdges := (nx-1)*ny + nx*(ny-1) + (nx-1)*(ny-1) // grid + one diagonal per cell
+	if g.M() != wantEdges {
+		t.Fatalf("M = %d, want %d", g.M(), wantEdges)
+	}
+	// Planarity sanity: m ≤ 3n − 6.
+	if g.M() > 3*g.N()-6 {
+		t.Error("edge count violates planarity bound")
+	}
+	if !g.Connected() {
+		t.Error("mesh disconnected")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(50, 4, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d has degree %d", v, g.Degree(v))
+		}
+	}
+	if _, err := RandomRegular(5, 3, nil, 1); err == nil {
+		t.Error("odd n·d accepted")
+	}
+	if _, err := RandomRegular(4, 4, nil, 1); err == nil {
+		t.Error("d >= n accepted")
+	}
+}
+
+func TestCaterpillarAndBinaryTree(t *testing.T) {
+	c := Caterpillar(5, 3, nil, 1)
+	if c.N() != 20 || !c.IsTree() {
+		t.Errorf("caterpillar N=%d tree=%v", c.N(), c.IsTree())
+	}
+	b := BinaryTree(4, nil, 1)
+	if b.N() != 15 || !b.IsTree() {
+		t.Errorf("binary tree N=%d tree=%v", b.N(), b.IsTree())
+	}
+	if b.Degree(0) != 2 {
+		t.Errorf("root degree = %d", b.Degree(0))
+	}
+}
+
+func TestWeightSamplers(t *testing.T) {
+	g := Grid2D(10, 10, UniformWeight(2, 3), 5)
+	for _, e := range g.Edges() {
+		if e.W < 2 || e.W > 3 {
+			t.Fatalf("uniform weight %v out of [2,3]", e.W)
+		}
+	}
+	h := Grid2D(10, 10, Lognormal(0), 5)
+	for _, e := range h.Edges() {
+		if math.Abs(e.W-1) > 1e-12 {
+			t.Fatalf("σ=0 lognormal weight %v != 1", e.W)
+		}
+	}
+}
+
+func BenchmarkGrid3D40(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Grid3D(40, 40, 40, Lognormal(1), 1)
+	}
+}

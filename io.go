@@ -1,0 +1,24 @@
+package hcd
+
+import (
+	"io"
+
+	"hcd/internal/gio"
+)
+
+// ReadEdgeList parses the plain edge-list format: one "u v w" line per edge
+// (weight optional, default 1), '#' comments, and an optional "n <count>"
+// header fixing the vertex count.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return gio.ReadEdgeList(r) }
+
+// WriteEdgeList writes g in the edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return gio.WriteEdgeList(w, g) }
+
+// ReadMatrixMarket parses a MatrixMarket coordinate matrix (real/integer/
+// pattern, symmetric or general) as a weighted graph: off-diagonal entries
+// become edges of weight |a_ij|, the diagonal is implied.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) { return gio.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes the Laplacian of g as a symmetric coordinate
+// MatrixMarket matrix.
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return gio.WriteMatrixMarket(w, g) }

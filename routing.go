@@ -1,0 +1,34 @@
+package hcd
+
+import (
+	"hcd/internal/route"
+)
+
+// Router routes demands obliviously through a laminar decomposition: every
+// (s, t) pair follows a canonical path up through cluster representatives
+// to the first common cluster and back down — the application of
+// high-conductance hierarchies in the oblivious-routing literature the
+// paper builds on.
+type Router = route.Router
+
+// NewRouter builds an oblivious router over the hierarchy lam of g.
+func NewRouter(g *Graph, lam *LaminarTree) (*Router, error) {
+	return route.New(g, lam)
+}
+
+// RouteCongestion accumulates per-edge load (1/weight per traversal) over a
+// set of vertex paths, returning the maximum and mean over used edges.
+func RouteCongestion(g *Graph, paths [][]int) (maxLoad, meanLoad float64, err error) {
+	return route.Congestion(g, paths)
+}
+
+// ShortestPath returns a min-hop path between s and t — the non-oblivious
+// baseline.
+func ShortestPath(g *Graph, s, t int) ([]int, error) {
+	return route.ShortestPath(g, s, t)
+}
+
+// ValidatePath checks that a vertex path connects s to t through edges of g.
+func ValidatePath(g *Graph, path []int, s, t int) error {
+	return route.Validate(g, path, s, t)
+}

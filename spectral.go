@@ -1,0 +1,38 @@
+package hcd
+
+import (
+	"hcd/internal/spectral"
+)
+
+// SmallestEigenpairs returns the k smallest non-kernel eigenpairs of the
+// normalized Laplacian Â = D^{−1/2} A D^{−1/2} of a connected graph,
+// ascending, via deflated Lanczos with full reorthogonalization. iters
+// bounds the Krylov dimension (0 = default).
+func SmallestEigenpairs(g *Graph, k, iters int, seed int64) ([]float64, [][]float64, error) {
+	return spectral.Smallest(g, k, iters, seed)
+}
+
+// CheegerBounds returns certified (lower, upper) bounds on the conductance
+// of a connected graph: λ₂/2 from the Cheeger inequality below, and the
+// better of √(2λ₂) and a spectral sweep cut above.
+func CheegerBounds(g *Graph, seed int64) (float64, float64, error) {
+	return spectral.CheegerBounds(g, seed)
+}
+
+// PortraitRow is one eigenpair's entry in the Theorem 4.1 table.
+type PortraitRow = spectral.PortraitRow
+
+// Portrait computes the Theorem 4.1 table for the k smallest non-kernel
+// eigenpairs of d's graph: eigenvalue, misalignment with the cluster space
+// Range(D^{1/2}R), and the paper's bound at the measured φ.
+func Portrait(d *Decomposition, k int, seed int64) ([]PortraitRow, error) {
+	return spectral.Portrait(d, k, seed)
+}
+
+// Alignment returns ‖proj(x)‖² for the projection of the unit vector x onto
+// Range(D^{1/2}R), the cluster-wise constant space of Theorem 4.1.
+// 1 − Alignment is the squared distance the theorem bounds by
+// 3·λ·(1 + 2/(γφ²)).
+func Alignment(d *Decomposition, x []float64) float64 {
+	return spectral.Alignment(d, x)
+}

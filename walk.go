@@ -1,0 +1,58 @@
+package hcd
+
+import (
+	"hcd/internal/localcluster"
+	"hcd/internal/randwalk"
+)
+
+// RandomWalk evolves probability distributions under the (optionally lazy)
+// natural random walk of a graph — the Section 4 connection between
+// high-conductance clusters and trapped walk mass.
+type RandomWalk = randwalk.Walk
+
+// NewRandomWalk returns a walk on g with the given per-step holding
+// probability (0 = pure walk, 0.5 = standard lazy walk).
+func NewRandomWalk(g *Graph, laziness float64) (*RandomWalk, error) {
+	return randwalk.New(g, laziness)
+}
+
+// ClusterMass returns the walk mass inside each cluster of d under the
+// distribution p.
+func ClusterMass(d *Decomposition, p []float64) []float64 {
+	return randwalk.ClusterMass(d, p)
+}
+
+// BoundaryRatio returns ψ(C) = out(C)/vol(C) for cluster c: the exact
+// one-step escape rate of a walk started from the stationary distribution
+// restricted to the cluster.
+func BoundaryRatio(d *Decomposition, c int) float64 {
+	return randwalk.BoundaryRatio(d, c)
+}
+
+// TotalVariation returns ½‖p − q‖₁ between two distributions.
+func TotalVariation(p, q []float64) float64 { return randwalk.TotalVariation(p, q) }
+
+// WalkEmbedding evolves k random mean-free mixtures for t steps of the
+// (lazy) walk and returns the volume-normalized coordinates — the "global"
+// cluster-detection signal Section 4 analyzes: vertices of one
+// high-conductance cluster land close together.
+func WalkEmbedding(g *Graph, k, t int, laziness float64, seed int64) ([][]float64, error) {
+	return randwalk.WalkEmbedding(g, k, t, laziness, seed)
+}
+
+// LocalClusterOptions configures truncated-walk local clustering.
+type LocalClusterOptions = localcluster.Options
+
+// LocalClusterResult is a locally grown cluster with its certificate.
+type LocalClusterResult = localcluster.Result
+
+// DefaultLocalClusterOptions returns the standard Nibble settings.
+func DefaultLocalClusterOptions() LocalClusterOptions { return localcluster.DefaultOptions() }
+
+// LocalCluster grows a cluster around a seed vertex with a truncated lazy
+// random walk and a sweep cut (Spielman–Teng Nibble style) — the "local"
+// counterpart the paper's global decompositions are contrasted with. The
+// work is proportional to the cluster found, not to the graph.
+func LocalCluster(g *Graph, seed int, opt LocalClusterOptions) (*LocalClusterResult, error) {
+	return localcluster.Nibble(g, seed, opt)
+}
