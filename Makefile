@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt selfcheck experiments fig6 coverage
+.PHONY: all build test bench vet fmt check race race-solver selfcheck experiments fig6 coverage
 
 all: build test
 
@@ -15,6 +15,17 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# check is the pre-merge gate: vet plus the full suite under the race
+# detector (the parallel solver kernels run with GOMAXPROCS > 1 in tests).
+check: vet race
+
+race:
+	$(GO) test -race ./...
+
+# race-solver races just the parallel kernels and primitives (fast).
+race-solver:
+	$(GO) test -race ./internal/solver/... ./internal/par/... ./internal/graph/...
 
 fmt:
 	gofmt -l .

@@ -264,9 +264,9 @@ func TestResistanceComputerFacade(t *testing.T) {
 }
 
 func TestAgreementFacade(t *testing.T) {
-	p, r, err := hcd.Agreement([]int{0, 0, 1}, []int{7, 7, 9})
-	if err != nil || p != 1 || r != 1 {
-		t.Errorf("agreement: %v %v %v", p, r, err)
+	rep, err := hcd.Agreement([]int{0, 0, 1}, []int{7, 7, 9})
+	if err != nil || rep.Purity != 1 || rep.RandIndex != 1 {
+		t.Errorf("agreement: %+v %v", rep, err)
 	}
 }
 

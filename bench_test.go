@@ -5,7 +5,9 @@
 package hcd_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"hcd"
@@ -206,6 +208,82 @@ func BenchmarkMinorFreeDecomposition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := hcd.DecomposeMinorFree(g, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// P1: parallel solver engine — row-blocked Laplacian matvec vs the serial
+// reference on a ≥100k-vertex 3D grid, across worker counts. The parallel
+// path falls back to the serial loop when GOMAXPROCS is 1, so the
+// gomaxprocs-1 case measures the fallback's overhead (≈ none).
+func matvecGraph() *hcd.Graph {
+	return hcd.Grid3D(48, 48, 48, hcd.LognormalWeights(1), 1) // n = 110592
+}
+
+func BenchmarkParallelMatvec(b *testing.B) {
+	g := matvecGraph()
+	x := benchRHS(g.N(), 1)
+	dst := make([]float64, g.N())
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.LapMulSerial(dst, x)
+		}
+	})
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("gomaxprocs-%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.LapMul(dst, x)
+			}
+		})
+	}
+}
+
+// P2: Jacobi-PCG on the 100k-vertex grid, fixed 60-iteration work unit, at
+// 1, 2, and all cores. All level-1 kernels and the matvec route through the
+// parallel engine; the speedup over gomaxprocs-1 is the engine's scaling.
+func benchPCGCores(b *testing.B, procs int) {
+	g := matvecGraph()
+	rhs := benchRHS(g.N(), 2)
+	opt := hcd.DefaultSolveOptions()
+	opt.Tol = 1e-30 // unreachable: fixed 60-iteration work unit
+	opt.MaxIter = 60
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	m := hcd.JacobiPreconditioner(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hcd.SolvePCG(g, rhs, m, opt)
+		if res.Iterations != 60 {
+			b.Fatalf("expected 60 iterations, ran %d (%v)", res.Iterations, res.Outcome)
+		}
+	}
+}
+
+func BenchmarkPCGGrid100k1Core(b *testing.B)  { benchPCGCores(b, 1) }
+func BenchmarkPCGGrid100k2Cores(b *testing.B) { benchPCGCores(b, 2) }
+func BenchmarkPCGGrid100kAllCores(b *testing.B) {
+	benchPCGCores(b, runtime.NumCPU())
+}
+
+// P3: warm engine solves allocate nothing (b.ReportAllocs shows 0 allocs/op
+// once the first solve has sized the scratch buffers).
+func BenchmarkEngineWarmSolves(b *testing.B) {
+	g := hcd.Grid2D(64, 64, hcd.LognormalWeights(1), 1)
+	eng, err := hcd.NewEngine(g, hcd.JacobiPreconditioner(g), hcd.DefaultSolveOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := benchRHS(g.N(), 3)
+	if _, err := eng.Solve(nil, rhs); err != nil { // warm up the buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Solve(nil, rhs)
+		if err != nil || !res.Converged {
+			b.Fatal("warm solve failed")
 		}
 	}
 }

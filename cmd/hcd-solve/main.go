@@ -5,9 +5,11 @@
 //
 //	hcd-solve -graph oct:16 -precond hierarchy
 //	hcd-solve -graph grid3d:20 -precond steiner -tol 1e-10
+//	hcd-solve -graph grid3d:32 -precond hierarchy -metrics -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +28,8 @@ func main() {
 	k := flag.Int("k", 4, "cluster size cap for steiner/hierarchy")
 	seed := flag.Int64("seed", 1, "random seed")
 	history := flag.Bool("history", false, "print the full residual history")
+	metrics := flag.Bool("metrics", false, "print per-solve metrics (matvecs, applies, phase times)")
+	timeout := flag.Duration("timeout", 0, "solve deadline (0 = none); an expired deadline cancels the iteration")
 	flag.Parse()
 
 	g, err := cli.BuildGraph(*graphSpec, *seed)
@@ -72,6 +76,13 @@ func main() {
 	}
 	buildTime := time.Since(buildStart)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opt := hcd.DefaultSolveOptions()
 	opt.Tol = *tol
 	solveStart := time.Now()
@@ -80,24 +91,33 @@ func main() {
 		if m == nil {
 			m = hcd.JacobiPreconditioner(g)
 		}
-		x, hist, cerr := hcd.SolveChebyshev(g, b, m, *chebIters)
+		copt := hcd.DefaultChebyshevOptions(*chebIters)
+		copt.Tol = *tol
+		cres, cerr := hcd.SolveChebyshevCtx(ctx, g, b, m, copt)
 		if cerr != nil {
 			log.Fatal(cerr)
 		}
-		res = hcd.SolveResult{X: x, Residuals: hist, Iterations: len(hist) - 1,
-			Converged: hist[len(hist)-1] <= *tol*hist[0]}
-	} else if m == nil {
-		res = solveIdentity(g, b, opt)
+		fmt.Printf("chebyshev spectrum estimate: [%.4g, %.4g]\n", cres.Lmin, cres.Lmax)
+		res = cres.SolveResult
 	} else {
-		res = hcd.SolvePCG(g, b, m, opt)
+		if m == nil {
+			m = identity{n: g.N()}
+		}
+		res, err = hcd.SolvePCGCtx(ctx, g, b, m, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	solveTime := time.Since(solveStart)
 
 	fmt.Printf("graph: %s  n=%d m=%d\n", *graphSpec, g.N(), g.M())
 	fmt.Printf("preconditioner: %s  build: %v\n", *precond, buildTime)
-	fmt.Printf("converged: %v  iterations: %d  solve: %v\n", res.Converged, res.Iterations, solveTime)
+	fmt.Printf("outcome: %s  iterations: %d  solve: %v\n", res.Outcome, res.Iterations, solveTime)
 	if len(res.Residuals) > 0 {
 		fmt.Printf("residual: %.3g -> %.3g\n", res.Residuals[0], res.Residuals[len(res.Residuals)-1])
+	}
+	if *metrics {
+		printMetrics(res.Metrics)
 	}
 	if lmin, lmax, eerr := hcd.EstimateSpectrum(res); eerr == nil && lmin > 0 {
 		fmt.Printf("estimated spectrum of M⁻¹A: [%.4g, %.4g], κ ≈ %.4g\n", lmin, lmax, lmax/lmin)
@@ -109,9 +129,11 @@ func main() {
 	}
 }
 
-func solveIdentity(g *hcd.Graph, b []float64, opt hcd.SolveOptions) hcd.SolveResult {
-	id := identity{n: g.N()}
-	return hcd.SolvePCG(g, b, id, opt)
+func printMetrics(m hcd.SolveMetrics) {
+	fmt.Printf("metrics: matvecs=%d precond-applies=%d iterations=%d\n",
+		m.MatVecs, m.PrecondApplies, m.Iterations)
+	fmt.Printf("metrics: setup=%v iterate=%v total=%v scratch-allocs=%d final-residual=%.3g\n",
+		m.SetupTime, m.IterTime, m.TotalTime, m.ScratchAllocs, m.FinalResidual)
 }
 
 type identity struct{ n int }

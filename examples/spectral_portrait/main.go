@@ -74,12 +74,12 @@ func main() {
 	for v := range truth {
 		truth[v] = v / 24 // planted block of v
 	}
-	purity, randIdx, err := hcd.Agreement(assign, truth)
+	agree, err := hcd.Agreement(assign, truth)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("planted-block recovery: purity %.1f%%, Rand index %.3f\n",
-		100*purity, randIdx)
+		100*agree.Purity, agree.RandIndex)
 }
 
 // plantedPartition builds k blocks of size s: a cycle plus random chords

@@ -36,6 +36,8 @@ type Graph = graph.Graph
 
 // NewGraph builds a graph on n vertices from an edge list; parallel edges
 // merge by weight summation, self-loops and non-positive weights error.
+// Negative vertex counts and out-of-range endpoints return errors wrapping
+// ErrBadDimension.
 func NewGraph(n int, edges []Edge) (*Graph, error) {
 	return graph.NewFromEdges(n, edges)
 }
@@ -75,10 +77,13 @@ func MaxGammaViolations(d *Decomposition, gamma float64) int {
 	return decomp.MaxGammaViolations(d, gamma)
 }
 
+// AgreementReport holds the external clustering metrics of one comparison:
+// purity of a against b and the Rand index over vertex pairs.
+type AgreementReport = decomp.AgreementReport
+
 // Agreement scores a cluster assignment against another (e.g. planted
-// ground truth): purity of a against b and the Rand index over vertex
-// pairs.
-func Agreement(a, b []int) (purity, randIndex float64, err error) {
+// ground truth), returning the metrics as a single report struct.
+func Agreement(a, b []int) (AgreementReport, error) {
 	return decomp.Agreement(a, b)
 }
 
@@ -206,7 +211,12 @@ func BuildLaminar(g *Graph, sizeCap, coarse int, seed int64) (*LaminarTree, erro
 
 // Laminar computes the recursive (laminar) decomposition and returns the
 // per-level decompositions (the level-i entry partitions the level-i
-// quotient graph). For the richer interface use BuildLaminar.
+// quotient graph).
+//
+// Deprecated: use BuildLaminar, which returns the full hierarchy with
+// composition, refinement checks, and per-level reports; its Levels field is
+// exactly this function's return value. Laminar is kept for one release of
+// compatibility and will be removed.
 func Laminar(g *Graph, sizeCap int, coarse int, seed int64) ([]*Decomposition, error) {
 	l, err := laminar.Build(g, sizeCap, coarse, seed)
 	if err != nil {

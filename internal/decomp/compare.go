@@ -2,19 +2,28 @@ package decomp
 
 import "fmt"
 
+// AgreementReport holds the external clustering metrics of one comparison.
+type AgreementReport struct {
+	// Purity of a against b: each a-cluster votes for its majority
+	// b-cluster; the fraction of vertices on the winning side.
+	Purity float64
+	// RandIndex is the fraction of vertex pairs on which the two
+	// clusterings agree about togetherness.
+	RandIndex float64
+}
+
 // Agreement compares two cluster assignments over the same vertex set with
-// the standard external clustering metrics: purity of a against b (each
-// a-cluster votes for its majority b-cluster) and the Rand index (fraction
-// of vertex pairs on which the two clusterings agree about togetherness).
-// Used to score decompositions against planted ground truth.
-func Agreement(a, b []int) (purity, randIndex float64, err error) {
+// the standard external clustering metrics (purity, Rand index). Used to
+// score decompositions against planted ground truth.
+func Agreement(a, b []int) (AgreementReport, error) {
 	n := len(a)
 	if n != len(b) {
-		return 0, 0, fmt.Errorf("decomp: assignments have different lengths %d vs %d", n, len(b))
+		return AgreementReport{}, fmt.Errorf("decomp: assignments have different lengths %d vs %d", n, len(b))
 	}
 	if n == 0 {
-		return 1, 1, nil
+		return AgreementReport{Purity: 1, RandIndex: 1}, nil
 	}
+	var purity, randIndex float64
 	// Purity.
 	votes := make(map[int]map[int]int)
 	for v := range a {
@@ -57,9 +66,9 @@ func Agreement(a, b []int) (purity, randIndex float64, err error) {
 	}
 	pairs := float64(n) * float64(n-1) / 2
 	if pairs == 0 {
-		return purity, 1, nil
+		return AgreementReport{Purity: purity, RandIndex: 1}, nil
 	}
 	agreePairs := pairs + sumNij2 - (sumA2+sumB2)/2
 	randIndex = agreePairs / pairs
-	return purity, randIndex, nil
+	return AgreementReport{Purity: purity, RandIndex: randIndex}, nil
 }

@@ -481,33 +481,33 @@ func TestValidateCatchesBrokenPartitions(t *testing.T) {
 func TestAgreementMetrics(t *testing.T) {
 	// Identical clusterings: purity 1, Rand 1.
 	a := []int{0, 0, 1, 1, 2}
-	p, r, err := Agreement(a, a)
-	if err != nil || p != 1 || r != 1 {
-		t.Errorf("identical: purity=%v rand=%v err=%v", p, r, err)
+	rep, err := Agreement(a, a)
+	if err != nil || rep.Purity != 1 || rep.RandIndex != 1 {
+		t.Errorf("identical: %+v err=%v", rep, err)
 	}
 	// Relabeled clusterings are still perfect.
 	b := []int{5, 5, 9, 9, 7}
-	p, r, _ = Agreement(a, b)
-	if p != 1 || r != 1 {
-		t.Errorf("relabel: purity=%v rand=%v", p, r)
+	rep, _ = Agreement(a, b)
+	if rep.Purity != 1 || rep.RandIndex != 1 {
+		t.Errorf("relabel: %+v", rep)
 	}
 	// All-singletons vs all-one-cluster: every a-cluster is trivially pure
 	// (purity 1), but every vertex pair disagrees about togetherness
 	// (together in b, apart in a) → Rand index 0.
-	p, r, _ = Agreement([]int{0, 1, 2}, []int{0, 0, 0})
-	if p != 1 || r != 0 {
-		t.Errorf("singletons-vs-one: purity=%v rand=%v", p, r)
+	rep, _ = Agreement([]int{0, 1, 2}, []int{0, 0, 0})
+	if rep.Purity != 1 || rep.RandIndex != 0 {
+		t.Errorf("singletons-vs-one: %+v", rep)
 	}
 	// The reverse direction is impure: one a-cluster spans 3 b-clusters.
-	p, r, _ = Agreement([]int{0, 0, 0}, []int{0, 1, 2})
-	if p != 1.0/3 || r != 0 {
-		t.Errorf("one-vs-singletons: purity=%v rand=%v", p, r)
+	rep, _ = Agreement([]int{0, 0, 0}, []int{0, 1, 2})
+	if rep.Purity != 1.0/3 || rep.RandIndex != 0 {
+		t.Errorf("one-vs-singletons: %+v", rep)
 	}
-	if _, _, err := Agreement([]int{0}, []int{0, 1}); err == nil {
+	if _, err := Agreement([]int{0}, []int{0, 1}); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if p, r, _ := Agreement(nil, nil); p != 1 || r != 1 {
-		t.Errorf("empty agreement: %v %v", p, r)
+	if rep, _ := Agreement(nil, nil); rep.Purity != 1 || rep.RandIndex != 1 {
+		t.Errorf("empty agreement: %+v", rep)
 	}
 }
 

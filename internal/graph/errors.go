@@ -1,0 +1,17 @@
+package graph
+
+import "errors"
+
+// Sentinel errors shared across the solver stack. They are re-exported from
+// the root hcd package so callers can errors.Is against one identity instead
+// of string-matching messages.
+var (
+	// ErrBadDimension marks size mismatches: negative vertex counts,
+	// out-of-range edge endpoints, or vectors whose length disagrees with
+	// an operator's dimension.
+	ErrBadDimension = errors.New("dimension mismatch")
+
+	// ErrDisconnected marks operations that require a connected graph
+	// (e.g. effective-resistance queries).
+	ErrDisconnected = errors.New("graph not connected")
+)

@@ -42,11 +42,11 @@ type Graph struct {
 // endpoints, self-loops, and non-positive or non-finite weights.
 func NewFromEdges(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+		return nil, fmt.Errorf("graph: negative vertex count %d: %w", n, ErrBadDimension)
 	}
 	for _, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d): %w", e.U, e.V, n, ErrBadDimension)
 		}
 		if e.U == e.V {
 			return nil, fmt.Errorf("graph: self-loop at vertex %d", e.U)
@@ -101,11 +101,11 @@ func MustFromEdges(n int, edges []Edge) *Graph {
 // construction.
 func NewFromUniqueEdges(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+		return nil, fmt.Errorf("graph: negative vertex count %d: %w", n, ErrBadDimension)
 	}
 	for _, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d): %w", e.U, e.V, n, ErrBadDimension)
 		}
 		if e.U == e.V {
 			return nil, fmt.Errorf("graph: self-loop at vertex %d", e.U)

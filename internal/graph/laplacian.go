@@ -7,17 +7,36 @@ import "hcd/internal/par"
 // Rows are independent, so large graphs are processed across cores; the
 // result is bit-identical to the sequential loop.
 func (g *Graph) LapMul(dst, x []float64) {
-	par.For(g.N(), 8192, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			nbr, w := g.Neighbors(v)
-			acc := 0.0
-			xv := x[v]
-			for i, u := range nbr {
-				acc += w[i] * (xv - x[u])
-			}
-			dst[v] = acc
-		}
+	n := g.N()
+	// Serial short-circuit below the grain (and on one worker): the closure
+	// below escapes to worker goroutines and would heap-allocate per call,
+	// which matters for the solver engine's zero-allocation small solves.
+	if n <= 8192 || par.Workers() == 1 {
+		g.lapMulRange(dst, x, 0, n)
+		return
+	}
+	par.For(n, 8192, func(lo, hi int) {
+		g.lapMulRange(dst, x, lo, hi)
 	})
+}
+
+// LapMulSerial is the single-goroutine matvec, bit-identical to LapMul. It
+// exists as the reference implementation for equality tests and for
+// benchmarking the parallel row-blocked path against a fixed serial baseline.
+func (g *Graph) LapMulSerial(dst, x []float64) {
+	g.lapMulRange(dst, x, 0, g.N())
+}
+
+func (g *Graph) lapMulRange(dst, x []float64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		nbr, w := g.Neighbors(v)
+		acc := 0.0
+		xv := x[v]
+		for i, u := range nbr {
+			acc += w[i] * (xv - x[u])
+		}
+		dst[v] = acc
+	}
 }
 
 // LapQuad returns the Laplacian quadratic form xᵀAx = Σ_{(u,v)∈E} w·(x[u]−x[v])².

@@ -156,41 +156,59 @@ func (h *Hierarchy) applyLevel(level int, dst, r []float64) {
 		// Pure Steiner recursion: dst = D⁻¹r + R·coarse(Rᵀr).
 		restrict(l, r)
 		h.applyLevel(level+1, l.xq, l.rq)
-		for v := 0; v < n; v++ {
-			dst[v] = r[v]*l.dInv[v] + l.xq[l.D.Assign[v]]
-		}
+		par.For(n, elemGrain, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				dst[v] = r[v]*l.dInv[v] + l.xq[l.D.Assign[v]]
+			}
+		})
 		return
 	}
 	// Symmetric V-cycle: damped-Jacobi pre-smooth (from zero), coarse
 	// correction, damped-Jacobi post-smooth. ω = 1/2 keeps I − ωD⁻¹A PSD
-	// since λmax(D⁻¹A) ≤ 2, so the cycle is SPD.
+	// since λmax(D⁻¹A) ≤ 2, so the cycle is SPD. The elementwise sweeps are
+	// row-independent and fan out across cores alongside the parallel
+	// LapMul matvec.
 	const omega = 0.5
 	x := dst
-	for v := 0; v < n; v++ {
-		x[v] = omega * r[v] * l.dInv[v]
-	}
+	par.For(n, elemGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			x[v] = omega * r[v] * l.dInv[v]
+		}
+	})
 	for s := 1; s < l.smooth; s++ {
 		l.G.LapMul(l.tmp, x)
-		for v := 0; v < n; v++ {
-			x[v] += omega * (r[v] - l.tmp[v]) * l.dInv[v]
-		}
+		par.For(n, elemGrain, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				x[v] += omega * (r[v] - l.tmp[v]) * l.dInv[v]
+			}
+		})
 	}
 	l.G.LapMul(l.tmp, x)
-	for v := 0; v < n; v++ {
-		l.tmp[v] = r[v] - l.tmp[v]
-	}
+	par.For(n, elemGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			l.tmp[v] = r[v] - l.tmp[v]
+		}
+	})
 	restrict(l, l.tmp)
 	h.applyLevel(level+1, l.xq, l.rq)
-	for v := 0; v < n; v++ {
-		x[v] += l.xq[l.D.Assign[v]]
-	}
+	par.For(n, elemGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			x[v] += l.xq[l.D.Assign[v]]
+		}
+	})
 	for s := 0; s < l.smooth; s++ {
 		l.G.LapMul(l.tmp2, x)
-		for v := 0; v < n; v++ {
-			x[v] += omega * (r[v] - l.tmp2[v]) * l.dInv[v]
-		}
+		par.For(n, elemGrain, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				x[v] += omega * (r[v] - l.tmp2[v]) * l.dInv[v]
+			}
+		})
 	}
 }
+
+// elemGrain is the minimum per-chunk size for the elementwise sweeps above;
+// below it par.For degrades to one sequential call.
+const elemGrain = 8192
 
 func restrict(l *Level, r []float64) {
 	par.For(len(l.rq), 512, func(lo, hi int) {

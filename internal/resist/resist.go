@@ -7,6 +7,7 @@
 package resist
 
 import (
+	"context"
 	"fmt"
 
 	"hcd/internal/graph"
@@ -14,19 +15,22 @@ import (
 	"hcd/internal/solver"
 )
 
-// Computer answers effective-resistance queries over one graph, reusing a
-// multilevel Steiner preconditioner across solves.
+// Computer answers effective-resistance queries over one graph. It is a
+// solver.Engine session under the hood: the multilevel Steiner
+// preconditioner and every work buffer are shared across queries, so after
+// the first solve a query allocates nothing. Not safe for concurrent use.
 type Computer struct {
-	g   *graph.Graph
-	h   *hierarchy.Hierarchy
-	op  solver.Operator
-	opt solver.Options
+	g     *graph.Graph
+	eng   *solver.Engine
+	b     []float64
+	total solver.Metrics
 }
 
-// New prepares a computer for the connected graph g.
+// New prepares a computer for the connected graph g. A disconnected graph
+// returns an error wrapping graph.ErrDisconnected.
 func New(g *graph.Graph) (*Computer, error) {
 	if !g.Connected() {
-		return nil, fmt.Errorf("resist: graph must be connected")
+		return nil, fmt.Errorf("resist: %w", graph.ErrDisconnected)
 	}
 	h, err := hierarchy.New(g, hierarchy.DefaultOptions())
 	if err != nil {
@@ -34,24 +38,41 @@ func New(g *graph.Graph) (*Computer, error) {
 	}
 	opt := solver.DefaultOptions()
 	opt.Tol = 1e-10
-	return &Computer{g: g, h: h, op: solver.LapOperator(g), opt: opt}, nil
+	eng, err := solver.NewLapEngine(g, h, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Computer{g: g, eng: eng, b: make([]float64, g.N())}, nil
 }
 
 // Between returns R_eff(u, v): inject one unit of current at u, extract it
 // at v, and read the potential difference.
 func (c *Computer) Between(u, v int) (float64, error) {
+	return c.BetweenCtx(context.Background(), u, v)
+}
+
+// BetweenCtx is Between with cancellation: a context cancelled mid-solve
+// aborts the underlying PCG within one iteration-check interval.
+func (c *Computer) BetweenCtx(ctx context.Context, u, v int) (float64, error) {
 	n := c.g.N()
 	if u < 0 || u >= n || v < 0 || v >= n {
-		return 0, fmt.Errorf("resist: vertex out of range")
+		return 0, fmt.Errorf("resist: vertex out of range: %w", graph.ErrBadDimension)
 	}
 	if u == v {
 		return 0, nil
 	}
-	b := make([]float64, n)
-	b[u], b[v] = 1, -1
-	res := solver.PCG(c.op, c.h, b, c.opt)
+	c.b[u], c.b[v] = 1, -1
+	res, err := c.eng.Solve(ctx, c.b)
+	c.b[u], c.b[v] = 0, 0
+	c.accumulate(res.Metrics)
+	if err != nil {
+		return 0, err
+	}
+	if res.Outcome == solver.OutcomeCancelled {
+		return 0, fmt.Errorf("resist: solve cancelled after %d iterations: %w", res.Iterations, ctx.Err())
+	}
 	if !res.Converged {
-		return 0, fmt.Errorf("resist: solve did not converge in %d iterations", res.Iterations)
+		return 0, fmt.Errorf("resist: %d iterations: %w", res.Iterations, solver.ErrNotConverged)
 	}
 	return res.X[u] - res.X[v], nil
 }
@@ -61,14 +82,35 @@ func (c *Computer) Between(u, v int) (float64, error) {
 // spectral sparsification and the "importance" of the edge. The scores of
 // a connected graph sum to n − 1 (Foster's theorem), which the tests check.
 func (c *Computer) EdgeLeverages() ([]float64, error) {
+	return c.EdgeLeveragesCtx(context.Background())
+}
+
+// EdgeLeveragesCtx is EdgeLeverages with cancellation between (and within)
+// the per-edge solves.
+func (c *Computer) EdgeLeveragesCtx(ctx context.Context) ([]float64, error) {
 	es := c.g.Edges()
 	out := make([]float64, len(es))
 	for i, e := range es {
-		r, err := c.Between(e.U, e.V)
+		r, err := c.BetweenCtx(ctx, e.U, e.V)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = e.W * r
 	}
 	return out, nil
+}
+
+// Metrics returns the cumulative solve metrics over every query answered so
+// far: total matvecs, preconditioner applies, iterations, and wall time.
+func (c *Computer) Metrics() solver.Metrics { return c.total }
+
+func (c *Computer) accumulate(m solver.Metrics) {
+	c.total.MatVecs += m.MatVecs
+	c.total.PrecondApplies += m.PrecondApplies
+	c.total.Iterations += m.Iterations
+	c.total.SetupTime += m.SetupTime
+	c.total.IterTime += m.IterTime
+	c.total.TotalTime += m.TotalTime
+	c.total.ScratchAllocs += m.ScratchAllocs
+	c.total.FinalResidual = m.FinalResidual
 }

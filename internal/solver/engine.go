@@ -1,0 +1,67 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"hcd/internal/graph"
+)
+
+// Engine is a reusable solve session: it owns an operator, a preconditioner,
+// default options, and all iteration work buffers. Repeated solves on one
+// graph — the effective-resistance pattern, batched right-hand sides —
+// allocate nothing after the first solve (Metrics.ScratchAllocs == 0).
+//
+// An Engine is NOT safe for concurrent use; the parallelism lives inside the
+// kernels, not across solves. The X, Residuals, Alphas and Betas slices of a
+// returned Result alias the engine's buffers and are only valid until the
+// next call on the same engine; copy them if they must outlive it.
+type Engine struct {
+	a   Operator
+	m   Preconditioner
+	opt Options
+	s   scratch
+}
+
+// NewEngine builds a solve session. A nil preconditioner means plain CG.
+// Returns an error wrapping graph.ErrBadDimension if the preconditioner's
+// dimension disagrees with the operator's.
+func NewEngine(a Operator, m Preconditioner, opt Options) (*Engine, error) {
+	if m == nil {
+		m = Identity(a.Dim())
+	}
+	if m.Dim() != a.Dim() {
+		return nil, fmt.Errorf("solver: preconditioner dimension %d vs operator dimension %d: %w",
+			m.Dim(), a.Dim(), graph.ErrBadDimension)
+	}
+	return &Engine{a: a, m: m, opt: opt}, nil
+}
+
+// NewLapEngine builds a solve session for a graph Laplacian system.
+func NewLapEngine(g *graph.Graph, m Preconditioner, opt Options) (*Engine, error) {
+	return NewEngine(LapOperator(g), m, opt)
+}
+
+// Dim returns the system dimension.
+func (e *Engine) Dim() int { return e.a.Dim() }
+
+// Options returns the engine's default solve options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Solve runs PCG on b with the engine's default options.
+func (e *Engine) Solve(ctx context.Context, b []float64) (Result, error) {
+	return pcgCore(ctx, e.a, e.m, b, e.opt, &e.s)
+}
+
+// SolveWith runs PCG on b with per-call options (overriding the engine
+// defaults for this solve only).
+func (e *Engine) SolveWith(ctx context.Context, b []float64, opt Options) (Result, error) {
+	return pcgCore(ctx, e.a, e.m, b, opt, &e.s)
+}
+
+// SolveChebyshev runs Chebyshev iteration on b given spectrum bounds
+// [lmin, lmax] for M⁻¹A, with the engine's buffers. opt.MaxIter is the
+// iteration count; opt.Tol > 0 enables early exit.
+func (e *Engine) SolveChebyshev(ctx context.Context, b []float64, lmin, lmax float64, opt Options) (Result, error) {
+	return chebyshevCore(ctx, e.a, e.m, b, lmin, lmax, opt, &e.s)
+}

@@ -3,15 +3,27 @@
 // Chebyshev iteration, and spectrum estimation from PCG coefficients (the
 // Lanczos connection used to measure condition numbers κ(A, B) throughout
 // the experiments).
+//
+// All iteration loops run on parallel level-1 kernels (see kernels.go) and a
+// parallel Laplacian matvec, thread a context.Context for cancellation, and
+// report per-solve Metrics. The Engine type (engine.go) owns reusable work
+// buffers so repeated solves on one operator allocate nothing.
 package solver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"hcd/internal/dense"
 	"hcd/internal/graph"
 )
+
+// ErrNotConverged marks solves that exhausted their iteration budget before
+// reaching the requested tolerance. Callers should test with errors.Is.
+var ErrNotConverged = errors.New("solver: did not converge")
 
 // Operator is a symmetric positive (semi)definite linear operator.
 type Operator interface {
@@ -37,7 +49,8 @@ func (o OpFunc) Dim() int { return o.N }
 // Apply evaluates the wrapped function.
 func (o OpFunc) Apply(dst, x []float64) { o.F(dst, x) }
 
-// LapOperator wraps a graph Laplacian as an Operator.
+// LapOperator wraps a graph Laplacian as an Operator. The matvec is
+// row-blocked over the CSR and runs across cores (see graph.LapMul).
 func LapOperator(g *graph.Graph) Operator {
 	return OpFunc{N: g.N(), F: g.LapMul}
 }
@@ -67,6 +80,14 @@ type Options struct {
 	Tol         float64 // relative residual tolerance (default 1e-8)
 	MaxIter     int     // default 10·n
 	ProjectMean bool    // keep iterates ⊥ 1 (for singular Laplacian systems)
+	// CheckEvery is the cancellation-check interval: the iteration loop
+	// polls ctx.Done() every CheckEvery iterations (default 8), so a
+	// cancelled solve returns within one interval.
+	CheckEvery int
+	// Progress, when non-nil, is invoked after every iteration with the
+	// iteration number (1-based) and the current residual norm. It runs on
+	// the solve goroutine; keep it cheap.
+	Progress func(iter int, residual float64)
 }
 
 // DefaultOptions returns the standard Laplacian-solve settings.
@@ -74,16 +95,92 @@ func DefaultOptions() Options {
 	return Options{Tol: 1e-8, MaxIter: 0, ProjectMean: true}
 }
 
+// Outcome classifies how a solve terminated.
+type Outcome int
+
+const (
+	// OutcomeUnknown is the zero value; no solve has been run.
+	OutcomeUnknown Outcome = iota
+	// OutcomeConverged: the residual reached the requested tolerance.
+	OutcomeConverged
+	// OutcomeMaxIter: the iteration budget was exhausted first.
+	OutcomeMaxIter
+	// OutcomeCancelled: the context was cancelled or its deadline passed.
+	OutcomeCancelled
+	// OutcomeBreakdown: a numerical breakdown stopped the recurrence
+	// (non-positive curvature pᵀAp or rᵀz — often an exact solution
+	// reached, or an indefinite/mismatched preconditioner).
+	OutcomeBreakdown
+)
+
+// String names the outcome for logs and metrics output.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeConverged:
+		return "converged"
+	case OutcomeMaxIter:
+		return "max-iterations"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomeBreakdown:
+		return "breakdown"
+	default:
+		return "unknown"
+	}
+}
+
+// Metrics instruments one solve: operator/preconditioner work counts, wall
+// time per phase, and the final residual. Every Result carries one.
+type Metrics struct {
+	MatVecs        int // operator Apply count
+	PrecondApplies int // preconditioner Apply count
+	Iterations     int
+	FinalResidual  float64       // ‖r‖₂ at exit (after projection)
+	SetupTime      time.Duration // buffer setup + initial residual/precondition
+	IterTime       time.Duration // the iteration loop
+	TotalTime      time.Duration
+	// ScratchAllocs counts work buffers newly allocated for this solve.
+	// It is zero for every solve on a warmed-up Engine.
+	ScratchAllocs int
+}
+
 // Result reports a completed solve.
 type Result struct {
 	X          []float64
 	Residuals  []float64 // ‖r_i‖₂ for i = 0..Iterations
 	Iterations int
-	Converged  bool
+	Converged  bool    // Outcome == OutcomeConverged
+	Outcome    Outcome // how the iteration terminated
+	Metrics    Metrics
 	// Alphas and Betas are the PCG coefficients; they define a Lanczos
 	// tridiagonal whose eigenvalues estimate the spectrum of M⁻¹A (see
 	// SpectrumEstimate).
 	Alphas, Betas []float64
+}
+
+// scratch owns the work buffers of one solve. A fresh scratch per call gives
+// the historical allocate-per-solve behavior; an Engine keeps one scratch
+// alive so repeated solves reuse every buffer.
+type scratch struct {
+	x, r, z, p, ap       []float64
+	resid, alphas, betas []float64
+	allocs               int
+}
+
+// vec returns *buf resized to n, reusing capacity when possible.
+func (s *scratch) vec(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+		s.allocs++
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
 }
 
 // CG solves A·x = b with plain conjugate gradients.
@@ -94,10 +191,42 @@ func CG(a Operator, b []float64, opt Options) Result {
 // PCG solves A·x = b with preconditioned conjugate gradients. For singular
 // Laplacian operators set opt.ProjectMean so the right-hand side and
 // iterates stay orthogonal to the constant vector.
+//
+// PCG is a thin wrapper over PCGCtx with context.Background() and fresh
+// work buffers; it panics on dimension mismatch (historical behavior).
 func PCG(a Operator, m Preconditioner, b []float64, opt Options) Result {
+	res, err := PCGCtx(context.Background(), a, m, b, opt)
+	if err != nil {
+		panic("solver: " + err.Error())
+	}
+	return res
+}
+
+// PCGCtx is PCG with cancellation: the iteration loop polls ctx every
+// opt.CheckEvery iterations and returns OutcomeCancelled promptly when the
+// context is done. It returns an error (wrapping graph.ErrBadDimension) on
+// size mismatches instead of panicking.
+func PCGCtx(ctx context.Context, a Operator, m Preconditioner, b []float64, opt Options) (Result, error) {
+	var s scratch
+	return pcgCore(ctx, a, m, b, opt, &s)
+}
+
+// pcgCore is the single PCG implementation behind PCG, PCGCtx, CG and
+// Engine.Solve. Result slices alias the scratch buffers.
+func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt Options, s *scratch) (Result, error) {
+	start := time.Now()
 	n := a.Dim()
-	if len(b) != n || m.Dim() != n {
-		panic("solver: dimension mismatch")
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solver: rhs length %d vs operator dimension %d: %w", len(b), n, graph.ErrBadDimension)
+	}
+	if m == nil {
+		m = Identity(n)
+	}
+	if m.Dim() != n {
+		return Result{}, fmt.Errorf("solver: preconditioner dimension %d vs operator dimension %d: %w", m.Dim(), n, graph.ErrBadDimension)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-8
@@ -105,35 +234,54 @@ func PCG(a Operator, m Preconditioner, b []float64, opt Options) Result {
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 10*n + 50
 	}
-	x := make([]float64, n)
-	r := append([]float64(nil), b...)
+	if opt.CheckEvery <= 0 {
+		opt.CheckEvery = 8
+	}
+	startAllocs := s.allocs
+	x := s.vec(&s.x, n)
+	zero(x)
+	r := s.vec(&s.r, n)
+	copy(r, b)
 	rawNorm := norm2(r)
 	if opt.ProjectMean {
 		projectMean(r)
 	}
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	z := s.vec(&s.z, n)
+	p := s.vec(&s.p, n)
+	ap := s.vec(&s.ap, n)
 	res := Result{X: x}
+	res.Residuals = s.resid[:0]
+	res.Alphas = s.alphas[:0]
+	res.Betas = s.betas[:0]
 	normB := norm2(r)
 	res.Residuals = append(res.Residuals, normB)
 	// A right-hand side that is (numerically) all null-space component has
 	// nothing left to solve after projection.
 	if normB == 0 || normB <= 1e-13*rawNorm {
-		res.Converged = true
-		return res
+		res.Outcome = OutcomeConverged
+		finishSolve(&res, s, start, time.Time{}, startAllocs)
+		return res, nil
 	}
 	m.Apply(z, r)
+	res.Metrics.PrecondApplies++
 	if opt.ProjectMean {
 		projectMean(z)
 	}
 	copy(p, z)
 	rz := dot(r, z)
+	res.Outcome = OutcomeMaxIter
+	iterStart := time.Now()
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if iter%opt.CheckEvery == 0 && ctx.Err() != nil {
+			res.Outcome = OutcomeCancelled
+			break
+		}
 		a.Apply(ap, p)
+		res.Metrics.MatVecs++
 		pap := dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			// Numerical breakdown (or exact solution already reached).
+			res.Outcome = OutcomeBreakdown
 			break
 		}
 		alpha := rz / pap
@@ -146,52 +294,128 @@ func PCG(a Operator, m Preconditioner, b []float64, opt Options) Result {
 		rn := norm2(r)
 		res.Residuals = append(res.Residuals, rn)
 		res.Iterations = iter + 1
+		if opt.Progress != nil {
+			opt.Progress(res.Iterations, rn)
+		}
 		if rn <= opt.Tol*normB {
-			res.Converged = true
+			res.Outcome = OutcomeConverged
 			break
 		}
 		m.Apply(z, r)
+		res.Metrics.PrecondApplies++
 		if opt.ProjectMean {
 			projectMean(z)
 		}
 		rzNew := dot(r, z)
 		if rzNew <= 0 || math.IsNaN(rzNew) {
+			res.Outcome = OutcomeBreakdown
 			break
 		}
 		beta := rzNew / rz
 		res.Betas = append(res.Betas, beta)
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		xpby(p, z, beta)
 		rz = rzNew
 	}
-	return res
+	finishSolve(&res, s, start, iterStart, startAllocs)
+	return res, nil
+}
+
+// finishSolve stamps the metrics common to every exit path and hands the
+// (possibly grown) history buffers back to the scratch for reuse. A plain
+// function, not a closure: closures capturing the result would heap-allocate
+// and break the Engine's zero-allocation guarantee.
+func finishSolve(res *Result, s *scratch, start, iterStart time.Time, startAllocs int) {
+	now := time.Now()
+	if !iterStart.IsZero() {
+		res.Metrics.IterTime = now.Sub(iterStart)
+	}
+	res.Metrics.TotalTime = now.Sub(start)
+	res.Metrics.SetupTime = res.Metrics.TotalTime - res.Metrics.IterTime
+	res.Metrics.Iterations = res.Iterations
+	if k := len(res.Residuals); k > 0 {
+		res.Metrics.FinalResidual = res.Residuals[k-1]
+	}
+	res.Metrics.ScratchAllocs = s.allocs - startAllocs
+	res.Converged = res.Outcome == OutcomeConverged
+	s.resid, s.alphas, s.betas = res.Residuals, res.Alphas, res.Betas
 }
 
 // Chebyshev runs Chebyshev iteration for A·x = b given bounds
 // [lmin, lmax] on the spectrum of M⁻¹A. It needs no inner products, making
 // it the classical communication-free companion to the parallel
 // preconditioners of Section 3.1.
+//
+// Chebyshev is a thin wrapper over ChebyshevCtx with context.Background();
+// it always runs the full iteration count (no tolerance-based early exit).
 func Chebyshev(a Operator, m Preconditioner, b []float64, lmin, lmax float64, iters int, projectMeanFlag bool) ([]float64, []float64, error) {
+	res, err := ChebyshevCtx(context.Background(), a, m, b, lmin, lmax,
+		Options{MaxIter: iters, ProjectMean: projectMeanFlag})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.X, res.Residuals, nil
+}
+
+// ChebyshevCtx runs Chebyshev iteration with cancellation and metrics.
+// opt.MaxIter is the iteration count; when opt.Tol > 0 the loop exits early
+// once ‖r‖ ≤ Tol·‖r₀‖ (the per-iteration residual norm is instrumentation —
+// the recurrence itself stays inner-product-free). Outcome is
+// OutcomeConverged when the final residual meets Tol, OutcomeMaxIter when the
+// budget ran out first, OutcomeCancelled on context cancellation.
+func ChebyshevCtx(ctx context.Context, a Operator, m Preconditioner, b []float64, lmin, lmax float64, opt Options) (Result, error) {
+	var s scratch
+	return chebyshevCore(ctx, a, m, b, lmin, lmax, opt, &s)
+}
+
+func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float64, lmin, lmax float64, opt Options, s *scratch) (Result, error) {
+	start := time.Now()
 	if !(lmin > 0) || !(lmax >= lmin) {
-		return nil, nil, fmt.Errorf("solver: invalid eigenvalue bounds [%v, %v]", lmin, lmax)
+		return Result{}, fmt.Errorf("solver: invalid eigenvalue bounds [%v, %v]", lmin, lmax)
 	}
 	n := a.Dim()
-	x := make([]float64, n)
-	r := append([]float64(nil), b...)
-	if projectMeanFlag {
+	if len(b) != n {
+		return Result{}, fmt.Errorf("solver: rhs length %d vs operator dimension %d: %w", len(b), n, graph.ErrBadDimension)
+	}
+	if m == nil {
+		m = Identity(n)
+	}
+	if m.Dim() != n {
+		return Result{}, fmt.Errorf("solver: preconditioner dimension %d vs operator dimension %d: %w", m.Dim(), n, graph.ErrBadDimension)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.CheckEvery <= 0 {
+		opt.CheckEvery = 8
+	}
+	startAllocs := s.allocs
+	x := s.vec(&s.x, n)
+	zero(x)
+	r := s.vec(&s.r, n)
+	copy(r, b)
+	if opt.ProjectMean {
 		projectMean(r)
 	}
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ax := make([]float64, n)
+	z := s.vec(&s.z, n)
+	p := s.vec(&s.p, n)
+	ax := s.vec(&s.ap, n)
 	theta := (lmax + lmin) / 2
 	delta := (lmax - lmin) / 2
 	var alpha, beta float64
-	residuals := []float64{norm2(r)}
-	for k := 0; k < iters; k++ {
+	res := Result{X: x}
+	res.Residuals = append(s.resid[:0], norm2(r))
+	res.Alphas, res.Betas = s.alphas[:0], s.betas[:0]
+	normB := res.Residuals[0]
+	res.Outcome = OutcomeMaxIter
+	iterStart := time.Now()
+	for k := 0; k < opt.MaxIter; k++ {
+		if k%opt.CheckEvery == 0 && ctx.Err() != nil {
+			res.Outcome = OutcomeCancelled
+			break
+		}
 		m.Apply(z, r)
-		if projectMeanFlag {
+		res.Metrics.PrecondApplies++
+		if opt.ProjectMean {
 			projectMean(z)
 		}
 		switch k {
@@ -201,27 +425,32 @@ func Chebyshev(a Operator, m Preconditioner, b []float64, lmin, lmax float64, it
 		case 1:
 			beta = 0.5 * (delta * alpha) * (delta * alpha)
 			alpha = 1 / (theta - beta/alpha)
-			for i := range p {
-				p[i] = z[i] + beta*p[i]
-			}
+			xpby(p, z, beta)
 		default:
 			beta = (delta * alpha / 2) * (delta * alpha / 2)
 			alpha = 1 / (theta - beta/alpha)
-			for i := range p {
-				p[i] = z[i] + beta*p[i]
-			}
+			xpby(p, z, beta)
 		}
 		axpy(x, alpha, p)
 		a.Apply(ax, x)
-		for i := range r {
-			r[i] = b[i] - ax[i]
-		}
-		if projectMeanFlag {
+		res.Metrics.MatVecs++
+		sub(r, b, ax)
+		if opt.ProjectMean {
 			projectMean(r)
 		}
-		residuals = append(residuals, norm2(r))
+		rn := norm2(r)
+		res.Residuals = append(res.Residuals, rn)
+		res.Iterations = k + 1
+		if opt.Progress != nil {
+			opt.Progress(res.Iterations, rn)
+		}
+		if opt.Tol > 0 && rn <= opt.Tol*normB {
+			res.Outcome = OutcomeConverged
+			break
+		}
 	}
-	return x, residuals, nil
+	finishSolve(&res, s, start, iterStart, startAllocs)
+	return res, nil
 }
 
 // SpectrumEstimate converts PCG coefficients into estimates of the extreme
@@ -265,37 +494,4 @@ func ConditionEstimate(a Operator, m Preconditioner, probe []float64, iters int)
 		return math.Inf(1), nil
 	}
 	return lmax / lmin, nil
-}
-
-func projectMean(x []float64) {
-	s := 0.0
-	for _, v := range x {
-		s += v
-	}
-	mean := s / float64(len(x))
-	for i := range x {
-		x[i] -= mean
-	}
-}
-
-func norm2(x []float64) float64 {
-	s := 0.0
-	for _, v := range x {
-		s += v * v
-	}
-	return math.Sqrt(s)
-}
-
-func dot(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
-}
-
-func axpy(y []float64, a float64, x []float64) {
-	for i := range y {
-		y[i] += a * x[i]
-	}
 }

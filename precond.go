@@ -1,6 +1,7 @@
 package hcd
 
 import (
+	"context"
 	"fmt"
 
 	"hcd/internal/graph"
@@ -172,18 +173,22 @@ func NewHierarchy(g *Graph, opt HierarchyOptions) (*Hierarchy, error) {
 // SolvePCG solves the Laplacian system A·x = b with preconditioned
 // conjugate gradients. b should be orthogonal to the constant vector on each
 // component; with opt.ProjectMean (default) it is projected automatically.
+//
+// SolvePCG is a thin wrapper over SolvePCGCtx with context.Background(); it
+// panics on dimension mismatch (historical behavior). New code that needs
+// cancellation, deadlines, or errors.Is-testable failures should call
+// SolvePCGCtx or use an Engine.
 func SolvePCG(g *Graph, b []float64, m Preconditioner, opt SolveOptions) SolveResult {
 	return solver.PCG(solver.LapOperator(g), m, b, opt)
 }
 
 // Solve is the batteries-included entry point: it builds a multilevel
 // Steiner preconditioner and runs PCG to the default tolerance.
+//
+// Solve is a thin wrapper over SolveCtx with context.Background(); for
+// repeated solves on one graph prefer NewHierarchyEngine.
 func Solve(g *Graph, b []float64) (SolveResult, error) {
-	h, err := hierarchy.New(g, hierarchy.DefaultOptions())
-	if err != nil {
-		return SolveResult{}, err
-	}
-	return solver.PCG(solver.LapOperator(g), h, b, solver.DefaultOptions()), nil
+	return SolveCtx(context.Background(), g, b)
 }
 
 // SupportNumbers holds measured support values σ(A,B), σ(B,A) and the
@@ -217,13 +222,15 @@ func NewResistanceComputer(g *Graph) (*ResistanceComputer, error) {
 // free companion of the parallel preconditioners (no reductions across
 // workers per step). It bootstraps eigenvalue bounds for M⁻¹A from a short
 // PCG probe, then iterates. Returns the solution and the residual history.
+//
+// SolveChebyshev is a thin wrapper over SolveChebyshevCtx with
+// context.Background() and DefaultChebyshevOptions; use the Ctx form to
+// configure the probe depth and Ritz-bracket widening, observe the spectrum
+// estimate, or cancel mid-solve.
 func SolveChebyshev(g *Graph, b []float64, m Preconditioner, iters int) ([]float64, []float64, error) {
-	probe := solver.PCG(solver.LapOperator(g), m, b,
-		solver.Options{Tol: 1e-12, MaxIter: 40, ProjectMean: true})
-	lmin, lmax, err := solver.SpectrumEstimate(probe.Alphas, probe.Betas)
+	res, err := SolveChebyshevCtx(context.Background(), g, b, m, DefaultChebyshevOptions(iters))
 	if err != nil {
 		return nil, nil, err
 	}
-	// Widen the Ritz bracket slightly: Ritz values sit inside the spectrum.
-	return solver.Chebyshev(solver.LapOperator(g), m, b, lmin*0.8, lmax*1.2, iters, true)
+	return res.X, res.Residuals, nil
 }

@@ -1,0 +1,169 @@
+package hcd
+
+// The solve engine: context-aware entry points, reusable solve sessions,
+// termination outcomes, and per-solve metrics. All solve paths (Solve,
+// SolvePCG, SolveCtx, SolvePCGCtx, Engine.Solve, SolveChebyshev*) converge
+// on one PCG/Chebyshev implementation in internal/solver, whose level-1
+// kernels (dot, norm, axpy, mean projection) and Laplacian matvec run across
+// cores with a serial fallback below a grain-size threshold.
+
+import (
+	"context"
+	"fmt"
+
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/solver"
+)
+
+// Sentinel errors for the construction and solve paths. Callers should test
+// with errors.Is instead of matching message strings.
+var (
+	// ErrDisconnected: the operation requires a connected graph
+	// (e.g. NewResistanceComputer).
+	ErrDisconnected = graph.ErrDisconnected
+	// ErrBadDimension: vertex counts, edge endpoints, or vector lengths
+	// disagree with the graph/operator dimension (NewGraph, SolvePCGCtx,
+	// engine construction).
+	ErrBadDimension = graph.ErrBadDimension
+	// ErrNotConverged: an iterative solve exhausted its budget before
+	// reaching tolerance.
+	ErrNotConverged = solver.ErrNotConverged
+)
+
+// SolveOutcome classifies how a solve terminated: converged, iteration
+// budget exhausted, cancelled via context, or numerical breakdown.
+type SolveOutcome = solver.Outcome
+
+// Solve outcomes.
+const (
+	OutcomeConverged = solver.OutcomeConverged
+	OutcomeMaxIter   = solver.OutcomeMaxIter
+	OutcomeCancelled = solver.OutcomeCancelled
+	OutcomeBreakdown = solver.OutcomeBreakdown
+)
+
+// SolveMetrics instruments one solve: matvec and preconditioner-apply
+// counts, iteration count, wall time per phase, scratch allocations, and the
+// final residual. Every SolveResult carries one.
+type SolveMetrics = solver.Metrics
+
+// Engine is a reusable solve session over one graph: it owns the Laplacian
+// operator, a preconditioner, and pooled work buffers, so repeated solves
+// (batched right-hand sides, resistance queries) allocate nothing after the
+// first. Results alias engine buffers until the next call; an Engine is not
+// safe for concurrent use — run one Engine per goroutine.
+type Engine = solver.Engine
+
+// NewEngine builds a solve session for g with the given preconditioner
+// (nil means unpreconditioned CG) and default options.
+func NewEngine(g *Graph, m Preconditioner, opt SolveOptions) (*Engine, error) {
+	return solver.NewLapEngine(g, m, opt)
+}
+
+// NewHierarchyEngine builds the batteries-included session: a multilevel
+// Steiner preconditioner (the Remark 3 construction) plus a solve engine.
+// This is the session form of Solve.
+func NewHierarchyEngine(g *Graph, hopt HierarchyOptions, opt SolveOptions) (*Engine, error) {
+	h, err := hierarchy.New(g, hopt)
+	if err != nil {
+		return nil, err
+	}
+	return solver.NewLapEngine(g, h, opt)
+}
+
+// SolvePCGCtx solves the Laplacian system A·x = b with preconditioned
+// conjugate gradients under a context: cancellation or deadline expiry stops
+// the iteration within one check interval (opt.CheckEvery, default 8
+// iterations) with OutcomeCancelled. Dimension mismatches return an error
+// wrapping ErrBadDimension. This is the primary PCG entry point; SolvePCG is
+// a thin wrapper over it with context.Background().
+func SolvePCGCtx(ctx context.Context, g *Graph, b []float64, m Preconditioner, opt SolveOptions) (SolveResult, error) {
+	return solver.PCGCtx(ctx, solver.LapOperator(g), m, b, opt)
+}
+
+// SolveCtx is the batteries-included context-aware entry point: it builds a
+// multilevel Steiner preconditioner and runs PCG to the default tolerance.
+// For repeated solves on one graph build a NewHierarchyEngine instead, which
+// amortizes both the preconditioner and the work buffers. Solve is a thin
+// wrapper over this with context.Background().
+func SolveCtx(ctx context.Context, g *Graph, b []float64) (SolveResult, error) {
+	h, err := hierarchy.New(g, hierarchy.DefaultOptions())
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return solver.PCGCtx(ctx, solver.LapOperator(g), h, b, solver.DefaultOptions())
+}
+
+// ChebyshevOptions configures SolveChebyshevCtx: the bootstrap PCG probe
+// that estimates the spectrum of M⁻¹A, the Ritz-bracket widening applied to
+// the estimate (Ritz values sit strictly inside the true spectrum), and the
+// Chebyshev iteration itself.
+type ChebyshevOptions struct {
+	Iters      int     // Chebyshev iteration count (required > 0)
+	ProbeIters int     // PCG probe depth for the spectrum estimate (default 40)
+	WidenLow   float64 // multiplier on the λmin estimate (default 0.8)
+	WidenHigh  float64 // multiplier on the λmax estimate (default 1.2)
+	Tol        float64 // optional early-exit tolerance (0 = run all Iters)
+}
+
+// DefaultChebyshevOptions returns the historical settings: a 40-iteration
+// probe and the 0.8/1.2 bracket widening.
+func DefaultChebyshevOptions(iters int) ChebyshevOptions {
+	return ChebyshevOptions{Iters: iters, ProbeIters: 40, WidenLow: 0.8, WidenHigh: 1.2}
+}
+
+// ChebyshevResult is a SolveResult plus the spectrum estimate the iteration
+// was bootstrapped from.
+type ChebyshevResult struct {
+	SolveResult
+	// Lmin, Lmax are the probe's Ritz estimates of the extreme eigenvalues
+	// of M⁻¹A, before widening. The iteration used
+	// [WidenLow·Lmin, WidenHigh·Lmax].
+	Lmin, Lmax float64
+	// ProbeMetrics instruments the bootstrap PCG probe; the embedded
+	// SolveResult.Metrics covers the Chebyshev iteration itself.
+	ProbeMetrics SolveMetrics
+}
+
+// SolveChebyshevCtx solves A·x = b by Chebyshev iteration — the
+// inner-product-free companion of the parallel preconditioners (no
+// reductions across workers per step). It bootstraps eigenvalue bounds for
+// M⁻¹A from a short PCG probe, widens the Ritz bracket per opt, and
+// iterates under ctx. This is the primary Chebyshev entry point;
+// SolveChebyshev is a thin wrapper over it with context.Background() and
+// default options.
+func SolveChebyshevCtx(ctx context.Context, g *Graph, b []float64, m Preconditioner, opt ChebyshevOptions) (ChebyshevResult, error) {
+	if opt.Iters <= 0 {
+		return ChebyshevResult{}, fmt.Errorf("hcd: ChebyshevOptions.Iters must be positive")
+	}
+	if opt.ProbeIters <= 0 {
+		opt.ProbeIters = 40
+	}
+	if opt.WidenLow <= 0 {
+		opt.WidenLow = 0.8
+	}
+	if opt.WidenHigh <= 0 {
+		opt.WidenHigh = 1.2
+	}
+	a := solver.LapOperator(g)
+	probe, err := solver.PCGCtx(ctx, a, m, b,
+		solver.Options{Tol: 1e-12, MaxIter: opt.ProbeIters, ProjectMean: true})
+	if err != nil {
+		return ChebyshevResult{}, err
+	}
+	if probe.Outcome == OutcomeCancelled {
+		return ChebyshevResult{SolveResult: probe, ProbeMetrics: probe.Metrics},
+			fmt.Errorf("hcd: chebyshev probe cancelled: %w", ctx.Err())
+	}
+	lmin, lmax, err := solver.SpectrumEstimate(probe.Alphas, probe.Betas)
+	if err != nil {
+		return ChebyshevResult{}, err
+	}
+	res, err := solver.ChebyshevCtx(ctx, a, m, b, lmin*opt.WidenLow, lmax*opt.WidenHigh,
+		solver.Options{MaxIter: opt.Iters, ProjectMean: true, Tol: opt.Tol})
+	if err != nil {
+		return ChebyshevResult{}, err
+	}
+	return ChebyshevResult{SolveResult: res, Lmin: lmin, Lmax: lmax, ProbeMetrics: probe.Metrics}, nil
+}
