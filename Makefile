@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt check race race-solver selfcheck experiments fig6 coverage
+.PHONY: all build test bench bench-decomp vet fmt check race race-solver selfcheck experiments fig6 coverage
 
 all: build test
 
@@ -32,6 +32,11 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-decomp: the decomposition-pipeline benchmarks behind BENCH.md (P4) —
+# parallel Evaluate and the unified DecomposeCtx path.
+bench-decomp:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate|BenchmarkDecomposePipeline' -benchmem .
 
 selfcheck:
 	$(GO) run ./cmd/hcd-selfcheck -rounds 25

@@ -5,6 +5,7 @@
 package hcd_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -286,6 +287,49 @@ func BenchmarkEngineWarmSolves(b *testing.B) {
 			b.Fatal("warm solve failed")
 		}
 	}
+}
+
+// P4: decomposition quality measurement — the parallel per-cluster fan-out
+// of Evaluate against the sequential reference on a 3D lognormal grid
+// (~3.5k clusters). On multi-core machines the parallel path should win;
+// results are bit-identical either way.
+func BenchmarkEvaluate(b *testing.B) {
+	g := hcd.Grid3D(24, 24, 24, hcd.LognormalWeights(1), 1)
+	d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hcd.Evaluate(d)
+	}
+}
+
+// P4: unified decomposition pipeline end to end through DecomposeCtx,
+// including the evaluate stage — what one `DecomposeCtx` call costs per
+// method on a 3D lognormal grid.
+func benchDecomposePipeline(b *testing.B, method hcd.DecomposeMethod, side int) {
+	g := hcd.Grid3D(side, side, side, hcd.LognormalWeights(1), 1)
+	opt := hcd.DefaultDecomposeOptions(method)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hcd.DecomposeCtx(ctx, g, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Metrics.Stages) == 0 {
+			b.Fatal("no build metrics recorded")
+		}
+	}
+}
+
+func BenchmarkDecomposePipelineFixedDegree(b *testing.B) {
+	benchDecomposePipeline(b, hcd.MethodFixedDegree, 24)
+}
+
+func BenchmarkDecomposePipelinePlanar(b *testing.B) {
+	benchDecomposePipeline(b, hcd.MethodPlanar, 16)
 }
 
 // A1: base-tree ablation inside the Theorem 2.2 pipeline.

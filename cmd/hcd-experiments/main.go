@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +39,16 @@ func report(label string, m hcd.SolveMetrics) {
 		label, m.MatVecs, m.PrecondApplies, m.Iterations,
 		m.SetupTime.Round(time.Microsecond), m.IterTime.Round(time.Microsecond),
 		m.TotalTime.Round(time.Microsecond), m.FinalResidual)
+}
+
+// reportBuild prints one labelled build-metrics line (per-stage wall time,
+// sizes, scratch allocations) when -metrics is set — the construction-side
+// counterpart of report, so build and solve costs read side by side.
+func reportBuild(label string, m hcd.BuildMetrics) {
+	if !*metrics {
+		return
+	}
+	fmt.Printf("build[%s]: %s\n", label, m)
 }
 
 func main() {
@@ -97,7 +108,11 @@ func e1() {
 	}
 	g := hcd.OCT3D(side, side, side, hcd.DefaultOCTOptions())
 	b := cli.MeanFreeRHS(g.N(), 7)
-	d := must(hcd.DecomposeFixedDegree(g, 4, 1))
+	dopt := hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree)
+	dopt.SkipReport = true
+	dres := must(hcd.DecomposeCtx(context.Background(), g, dopt))
+	d := dres.D
+	reportBuild("steiner clustering", dres.Metrics)
 	sp := must(hcd.NewSteinerPreconditioner(d))
 	subOpt := hcd.DefaultPlanarOptions()
 	subOpt.ExtraFraction = 0.12
@@ -190,9 +205,11 @@ func e4() {
 	}
 	for _, side := range sides {
 		g := hcd.PlanarMesh(side, side, hcd.LognormalWeights(1), 3)
-		res := must(hcd.DecomposePlanar(g, hcd.DefaultPlanarOptions()))
-		rep := hcd.Evaluate(res.D)
+		opt := hcd.DefaultDecomposeOptions(hcd.MethodPlanar)
+		res := must(hcd.DecomposeCtx(context.Background(), g, opt))
+		rep := res.Report
 		t.Row(side, g.N(), rep.Phi, rep.Rho, rep.Phi*rep.Rho, res.CoreSize, res.CutEdges)
+		reportBuild(fmt.Sprintf("planar %d", side), res.Metrics)
 	}
 	fmt.Print(t)
 	fmt.Println("paper shape: φ·ρ bounded below by a constant as n grows.")

@@ -47,10 +47,11 @@ func main() {
 
 	// Recursive clustering: the laminar decomposition. Each level clusters
 	// the previous level's quotient graph.
-	levels, err := hcd.Laminar(g, 4, 10, 1)
+	lam, err := hcd.BuildLaminar(g, 4, 10, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
+	levels := lam.Levels
 	fmt.Println("laminar hierarchy (recursive §3.1 clustering):")
 	n := g.N()
 	for i, d := range levels {

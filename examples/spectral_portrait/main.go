@@ -49,10 +49,11 @@ func main() {
 
 	// Recover the planted blocks by recursing: compose laminar levels until
 	// the quotient is block-sized, then check cluster purity.
-	levels, err := hcd.Laminar(g, 4, 12, 1)
+	lam, err := hcd.BuildLaminar(g, 4, 12, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
+	levels := lam.Levels
 	assign := make([]int, g.N())
 	for v := range assign {
 		assign[v] = v

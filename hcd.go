@@ -16,11 +16,20 @@
 //	p, _ := hcd.NewSteinerPreconditioner(d)      // Section 3 preconditioner
 //	res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
 //
+// Every decomposition method is also reachable through the unified
+// context-aware pipeline, which reports per-stage build metrics and honors
+// cancellation:
+//
+//	r, _ := hcd.DecomposeCtx(ctx, g, hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree))
+//	_, _, _ = r.D, r.Report, r.Metrics
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
 package hcd
 
 import (
+	"context"
+
 	"hcd/internal/decomp"
 	"hcd/internal/graph"
 	"hcd/internal/laminar"
@@ -55,11 +64,25 @@ const MaxExactConductance = graph.MaxExactConductance
 // DecomposeTree computes the Theorem 2.1 decomposition of a tree or forest:
 // ρ ≥ 6/5 and every closure conductance ≥ 1/3 (measured ≥ 1/2 on typical
 // weights; see EXPERIMENTS.md E3 on the constant).
-func DecomposeTree(g *Graph) (*Decomposition, error) { return decomp.Tree(g) }
+func DecomposeTree(g *Graph) (*Decomposition, error) {
+	res, err := DecomposeCtx(context.Background(), g,
+		DecomposeOptions{Method: MethodTree, SkipReport: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.D, nil
+}
 
 // DecomposeTreeParallel is DecomposeTree with the per-bridge case analysis
 // fanned out across cores; results are identical to DecomposeTree.
-func DecomposeTreeParallel(g *Graph) (*Decomposition, error) { return decomp.TreeParallel(g) }
+func DecomposeTreeParallel(g *Graph) (*Decomposition, error) {
+	res, err := DecomposeCtx(context.Background(), g,
+		DecomposeOptions{Method: MethodTree, Parallel: true, SkipReport: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.D, nil
+}
 
 // ClusterStats describes one cluster (size, volume, boundary, conductance).
 type ClusterStats = decomp.ClusterStats
@@ -99,7 +122,12 @@ func MergeSingletons(d *Decomposition, minPhi float64) (*Decomposition, int) {
 // per-vertex heaviest edges, split the forest into clusters of ≈ sizeCap.
 // Every cluster has ≥ 2 vertices, so ρ ≥ 2.
 func DecomposeFixedDegree(g *Graph, sizeCap int, seed int64) (*Decomposition, error) {
-	return decomp.FixedDegree(g, sizeCap, seed)
+	res, err := DecomposeCtx(context.Background(), g,
+		DecomposeOptions{Method: MethodFixedDegree, SizeCap: sizeCap, Seed: seed, SkipReport: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.D, nil
 }
 
 // BaseTree selects the spanning tree for the sparse-subgraph pipelines.
@@ -141,34 +169,35 @@ type PlanarResult struct {
 // minor-freeness, Theorem 2.3, via LowStretchTree) only affects the
 // provable constants.
 func DecomposePlanar(g *Graph, opt PlanarOptions) (*PlanarResult, error) {
-	sres, err := sparsify.Sparsify(g, sparsify.Options{
-		Base: opt.Base, ExtraFraction: opt.ExtraFraction, Seed: opt.Seed,
+	res, err := DecomposeCtx(context.Background(), g, DecomposeOptions{
+		Method: MethodPlanar, Base: opt.Base,
+		ExtraFraction: opt.ExtraFraction, Seed: opt.Seed, SkipReport: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	d, stats, err := decomp.SparseCore(sres.B)
-	if err != nil {
-		return nil, err
-	}
-	da, err := decomp.Rebind(d, g)
-	if err != nil {
-		return nil, err
-	}
 	return &PlanarResult{
-		D: da, B: sres.B,
-		CoreSize: stats.CoreSize, CutEdges: stats.CutEdges,
-		AvgStretch: sres.AvgStretch,
+		D: res.D, B: res.B,
+		CoreSize: res.CoreSize, CutEdges: res.CutEdges,
+		AvgStretch: res.AvgStretch,
 	}, nil
 }
 
 // DecomposeMinorFree runs the Theorem 2.3 variant: the same pipeline on a
 // low-stretch base tree.
 func DecomposeMinorFree(g *Graph, seed int64) (*PlanarResult, error) {
-	opt := DefaultPlanarOptions()
-	opt.Base = LowStretchTree
+	opt := DefaultDecomposeOptions(MethodMinorFree)
 	opt.Seed = seed
-	return DecomposePlanar(g, opt)
+	opt.SkipReport = true
+	res, err := DecomposeCtx(context.Background(), g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanarResult{
+		D: res.D, B: res.B,
+		CoreSize: res.CoreSize, CutEdges: res.CutEdges,
+		AvgStretch: res.AvgStretch,
+	}, nil
 }
 
 // Evaluate measures a decomposition: minimum closure conductance φ (exact
@@ -196,7 +225,12 @@ func DefaultSpectralCutOptions() SpectralCutOptions { return spectralcut.Default
 // per split and no reduction-factor guarantee, but direct control of the
 // conductance target.
 func DecomposeSpectral(g *Graph, opt SpectralCutOptions) (*Decomposition, SpectralCutStats, error) {
-	return spectralcut.Decompose(g, opt)
+	res, err := DecomposeCtx(context.Background(), g,
+		DecomposeOptions{Method: MethodSpectral, Spectral: opt, SkipReport: true})
+	if err != nil {
+		return nil, SpectralCutStats{}, err
+	}
+	return res.D, res.SpectralStats, nil
 }
 
 // LaminarTree is a laminar hierarchy of decompositions with composition,
@@ -209,18 +243,8 @@ func BuildLaminar(g *Graph, sizeCap, coarse int, seed int64) (*LaminarTree, erro
 	return laminar.Build(g, sizeCap, coarse, seed)
 }
 
-// Laminar computes the recursive (laminar) decomposition and returns the
-// per-level decompositions (the level-i entry partitions the level-i
-// quotient graph).
-//
-// Deprecated: use BuildLaminar, which returns the full hierarchy with
-// composition, refinement checks, and per-level reports; its Levels field is
-// exactly this function's return value. Laminar is kept for one release of
-// compatibility and will be removed.
-func Laminar(g *Graph, sizeCap int, coarse int, seed int64) ([]*Decomposition, error) {
-	l, err := laminar.Build(g, sizeCap, coarse, seed)
-	if err != nil {
-		return nil, err
-	}
-	return l.Levels, nil
+// BuildLaminarCtx is BuildLaminar under a context; a cancelled build returns
+// an error wrapping ErrBuildCancelled and the context's error.
+func BuildLaminarCtx(ctx context.Context, g *Graph, sizeCap, coarse int, seed int64) (*LaminarTree, error) {
+	return laminar.BuildCtx(ctx, g, sizeCap, coarse, seed)
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"hcd/internal/graph"
+	"hcd/internal/par"
 )
 
 // Decomposition is a partition of the vertices of G into Count clusters.
@@ -65,7 +66,10 @@ func (d *Decomposition) Validate() error {
 		}
 	}
 	for c, vs := range d.Clusters() {
-		sub, _ := d.G.InducedSubgraph(vs)
+		sub, _, err := d.G.InducedSubgraph(vs)
+		if err != nil {
+			return fmt.Errorf("decomp: cluster %d induced subgraph: %w", c, err)
+		}
 		if !sub.Connected() {
 			return fmt.Errorf("decomp: cluster %d (size %d) is not connected", c, len(vs))
 		}
@@ -88,13 +92,53 @@ type Report struct {
 	CutFraction float64
 }
 
+// clusterSpans returns the vertices of every cluster as slices of one shared
+// order array: cluster c owns order[start[c]:start[c+1]]. Two allocations
+// total, versus one slice per cluster for Clusters.
+func (d *Decomposition) clusterSpans() (order, start []int) {
+	start = make([]int, d.Count+1)
+	for _, c := range d.Assign {
+		start[c+1]++
+	}
+	for c := 0; c < d.Count; c++ {
+		start[c+1] += start[c]
+	}
+	order = make([]int, len(d.Assign))
+	fill := append([]int(nil), start[:d.Count]...)
+	for v, c := range d.Assign {
+		order[fill[c]] = v
+		fill[c]++
+	}
+	return order, start
+}
+
+// evalGrain is the minimum per-chunk cluster count for the parallel Evaluate
+// fan-out; at or below it the whole evaluation runs in one sequential call.
+const evalGrain = 16
+
 // Evaluate measures a decomposition. Closure conductances are computed
 // exactly for closures of at most exactLimit vertices (pass
 // graph.MaxExactConductance for the largest exact setting); larger closures
 // contribute a sweep-cut upper bound and clear the PhiExact flag.
+//
+// Per-cluster measurements (the dominant cost: one closure build and
+// conductance computation per cluster) fan out across cores; the reductions
+// over clusters happen serially in cluster order, so the result is
+// bit-identical to EvaluateSerial.
 func Evaluate(d *Decomposition, exactLimit int) Report {
+	return evaluate(d, exactLimit, true)
+}
+
+// EvaluateSerial is the sequential reference implementation of Evaluate.
+func EvaluateSerial(d *Decomposition, exactLimit int) Report {
+	return evaluate(d, exactLimit, false)
+}
+
+func evaluate(d *Decomposition, exactLimit int, parallel bool) Report {
 	r := Report{Phi: math.Inf(1), PhiExact: true, Rho: d.ReductionFactor(), Count: d.Count, GammaMin: math.Inf(1)}
-	// γ_avg: fraction of edge weight crossing between clusters.
+	// γ_avg: fraction of edge weight crossing between clusters. The float
+	// sum stays serial in vertex order regardless of the parallel flag (a
+	// reordered sum would not be bit-identical).
 	cut, total := 0.0, 0.0
 	for u := 0; u < d.G.N(); u++ {
 		nbr, w := d.G.Neighbors(u)
@@ -110,44 +154,65 @@ func Evaluate(d *Decomposition, exactLimit int) Report {
 	if total > 0 {
 		r.CutFraction = cut / total
 	}
-	for _, vs := range d.Clusters() {
-		if len(vs) > r.MaxClusterSize {
-			r.MaxClusterSize = len(vs)
-		}
-		if len(vs) == 1 {
-			r.Singletons++
-		}
-		clo, _ := d.G.Closure(vs)
-		var phi float64
-		if clo.N() <= exactLimit && clo.N() <= graph.MaxExactConductance {
-			phi = clo.ExactConductance()
-		} else {
-			phi = clo.ConductanceUpperBound()
-			r.PhiExact = false
-		}
-		if phi < r.Phi {
-			r.Phi = phi
-		}
-		// γ per vertex: fraction of v's volume staying inside the cluster.
-		in := make(map[int]bool, len(vs))
-		for _, v := range vs {
-			in[v] = true
-		}
-		for _, v := range vs {
-			if len(vs) == 1 {
-				r.GammaMin = 0 // singletons keep nothing inside
-				continue
+	order, start := d.clusterSpans()
+	phi := make([]float64, d.Count)
+	exact := make([]bool, d.Count)
+	gamma := make([]float64, d.Count)
+	measure := func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			vs := order[start[c]:start[c+1]]
+			clo, _ := d.G.Closure(vs)
+			if clo.N() <= exactLimit && clo.N() <= graph.MaxExactConductance {
+				phi[c] = clo.ExactConductance()
+				exact[c] = true
+			} else {
+				phi[c] = clo.ConductanceUpperBound()
 			}
-			nbr, w := d.G.Neighbors(v)
-			inside := 0.0
-			for i, u := range nbr {
-				if in[u] {
-					inside += w[i]
+			// γ per vertex: fraction of v's volume staying inside the
+			// cluster; singletons keep nothing inside.
+			gm := math.Inf(1)
+			if len(vs) == 1 {
+				gm = 0
+			}
+			for _, v := range vs {
+				if len(vs) == 1 {
+					continue
+				}
+				nbr, w := d.G.Neighbors(v)
+				inside := 0.0
+				for i, u := range nbr {
+					if d.Assign[u] == c {
+						inside += w[i]
+					}
+				}
+				if g := inside / d.G.Vol(v); g < gm {
+					gm = g
 				}
 			}
-			if g := inside / d.G.Vol(v); g < r.GammaMin {
-				r.GammaMin = g
-			}
+			gamma[c] = gm
+		}
+	}
+	if parallel {
+		par.For(d.Count, evalGrain, measure)
+	} else {
+		measure(0, d.Count)
+	}
+	for c := 0; c < d.Count; c++ {
+		size := start[c+1] - start[c]
+		if size > r.MaxClusterSize {
+			r.MaxClusterSize = size
+		}
+		if size == 1 {
+			r.Singletons++
+		}
+		if phi[c] < r.Phi {
+			r.Phi = phi[c]
+		}
+		if !exact[c] {
+			r.PhiExact = false
+		}
+		if gamma[c] < r.GammaMin {
+			r.GammaMin = gamma[c]
 		}
 	}
 	return r
@@ -160,22 +225,16 @@ func Evaluate(d *Decomposition, exactLimit int) Report {
 // most one vertex violating γ = φ; MaxGammaViolations verifies exactly that.
 func GammaViolations(d *Decomposition, gamma float64) []int {
 	out := make([]int, d.Count)
-	for c, vs := range d.Clusters() {
-		in := make(map[int]bool, len(vs))
-		for _, v := range vs {
-			in[v] = true
+	for v, c := range d.Assign {
+		nbr, w := d.G.Neighbors(v)
+		inside := 0.0
+		for i, u := range nbr {
+			if d.Assign[u] == c {
+				inside += w[i]
+			}
 		}
-		for _, v := range vs {
-			nbr, w := d.G.Neighbors(v)
-			inside := 0.0
-			for i, u := range nbr {
-				if in[u] {
-					inside += w[i]
-				}
-			}
-			if inside < gamma*d.G.Vol(v)-1e-12 {
-				out[c]++
-			}
+		if inside < gamma*d.G.Vol(v)-1e-12 {
+			out[c]++
 		}
 	}
 	return out

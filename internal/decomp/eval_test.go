@@ -1,0 +1,77 @@
+package decomp
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"hcd/internal/graph"
+	"hcd/internal/treealg"
+	"hcd/internal/workload"
+)
+
+// TestEvaluateParallelMatchesSerial pins the parallel fan-out of Evaluate to
+// the sequential reference bit for bit on randomized instances: per-cluster
+// work is independent and all float reductions stay in a fixed serial order,
+// so the reports must be identical, not merely close.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	rng := rand.New(rand.NewSource(99))
+	decomps := []*Decomposition{}
+	for trial := 0; trial < 6; trial++ {
+		tree := treealg.RandomTree(rng, 200+rng.Intn(400), func() float64 { return 0.5 + rng.Float64() })
+		d, err := Tree(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decomps = append(decomps, d)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		g := workload.Grid3D(8, 8, 8, workload.Lognormal(1), seed)
+		d, err := FixedDegree(g, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decomps = append(decomps, d)
+		g2 := workload.Grid2D(20, 20, workload.Lognormal(0.5), seed)
+		d2, err := FixedDegree(g2, 3+int(seed), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decomps = append(decomps, d2)
+	}
+	for i, d := range decomps {
+		for _, limit := range []int{0, graph.MaxExactConductance} {
+			serial := EvaluateSerial(d, limit)
+			parallel := Evaluate(d, limit)
+			if serial != parallel {
+				t.Errorf("instance %d limit %d: parallel %+v != serial %+v", i, limit, parallel, serial)
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelManyClusters forces the cluster count well past the
+// parallel grain so the fan-out genuinely splits, and checks equality again.
+func TestEvaluateParallelManyClusters(t *testing.T) {
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	g := workload.Grid3D(12, 12, 12, workload.Lognormal(1), 5)
+	d, err := FixedDegree(g, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count <= evalGrain {
+		t.Fatalf("want more than %d clusters to exercise the fan-out, got %d", evalGrain, d.Count)
+	}
+	serial := EvaluateSerial(d, graph.MaxExactConductance)
+	parallel := Evaluate(d, graph.MaxExactConductance)
+	if serial != parallel {
+		t.Fatalf("parallel %+v != serial %+v", parallel, serial)
+	}
+}

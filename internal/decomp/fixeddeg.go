@@ -1,6 +1,7 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 
 	"hcd/internal/graph"
@@ -26,6 +27,14 @@ import (
 // at branchy vertices (at most 1 + d·(sizeCap−1) vertices); the cap controls
 // the expected size, which is what the reduction/condition trade-off needs.
 func FixedDegree(g *graph.Graph, sizeCap int, seed int64) (*Decomposition, error) {
+	return FixedDegreeCtx(context.Background(), g, sizeCap, seed)
+}
+
+// FixedDegreeCtx is FixedDegree under a context: the sequential passes poll
+// cancellation at bounded intervals and the parallel scan is bracketed by
+// checks, so a cancelled build returns an error wrapping ErrBuildCancelled
+// promptly.
+func FixedDegreeCtx(ctx context.Context, g *graph.Graph, sizeCap int, seed int64) (*Decomposition, error) {
 	if sizeCap < 2 {
 		return nil, fmt.Errorf("decomp: sizeCap must be ≥ 2, got %d", sizeCap)
 	}
@@ -53,8 +62,14 @@ func FixedDegree(g *graph.Graph, sizeCap int, seed int64) (*Decomposition, error
 			}
 		}
 	})
+	if ctx.Err() != nil {
+		return nil, Cancelled(ctx)
+	}
 	fEdges := make([]graph.Edge, 0, n)
 	for v := 0; v < n; v++ {
+		if err := poll(ctx, v); err != nil {
+			return nil, err
+		}
 		u := bestTo[v]
 		if u < 0 {
 			continue
@@ -100,6 +115,9 @@ func FixedDegree(g *graph.Graph, sizeCap int, seed int64) (*Decomposition, error
 		}
 	}
 	for i := len(rooted.Order) - 1; i >= 0; i-- {
+		if err := poll(ctx, i); err != nil {
+			return nil, err
+		}
 		v := rooted.Order[i]
 		pend[v] = 1
 		for _, c := range children[v] {

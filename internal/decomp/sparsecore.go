@@ -1,6 +1,7 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 
 	"hcd/internal/graph"
@@ -28,13 +29,38 @@ type SparseStats struct {
 // The returned decomposition is over b itself, so closure conductances are
 // measured with the cut edges contributing boundary stubs — the paper's
 // "boundary cluster" factor-of-2 loss is part of the measurement.
+//
+// Steps 1–2 are exposed separately as CoreCutCtx so the pipeline can time
+// the strip/cut phase apart from the tree decomposition.
 func SparseCore(b *graph.Graph) (*Decomposition, SparseStats, error) {
+	return SparseCoreCtx(context.Background(), b)
+}
+
+// SparseCoreCtx is SparseCore under a context.
+func SparseCoreCtx(ctx context.Context, b *graph.Graph) (*Decomposition, SparseStats, error) {
+	forest, stats, err := CoreCutCtx(ctx, b)
+	if err != nil {
+		return nil, SparseStats{}, err
+	}
+	td, err := TreeCtx(ctx, forest)
+	if err != nil {
+		return nil, SparseStats{}, err
+	}
+	d := &Decomposition{G: b, Assign: td.Assign, Count: td.Count}
+	return d, stats, nil
+}
+
+// CoreCutCtx performs steps 1–2 of the Theorem 2.2 engine on a connected
+// graph b: strip degree-1 vertices, identify the core W, and cut the
+// lightest edge of every core path. It returns the resulting forest (over
+// b's vertex set) and the core statistics. A forest input short-circuits:
+// b itself is returned with zero stats.
+func CoreCutCtx(ctx context.Context, b *graph.Graph) (*graph.Graph, SparseStats, error) {
 	if !b.Connected() {
 		return nil, SparseStats{}, fmt.Errorf("decomp: SparseCore requires a connected graph")
 	}
 	if b.IsForest() {
-		d, err := Tree(b)
-		return d, SparseStats{}, err
+		return b, SparseStats{}, nil
 	}
 	n := b.N()
 	// Step 1: strip degree-1 vertices.
@@ -48,7 +74,10 @@ func SparseCore(b *graph.Graph) (*Decomposition, SparseStats, error) {
 			queue = append(queue, v)
 		}
 	}
-	for len(queue) > 0 {
+	for pops := 0; len(queue) > 0; pops++ {
+		if err := poll(ctx, pops); err != nil {
+			return nil, SparseStats{}, err
+		}
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		if !alive[v] || deg[v] > 1 {
@@ -85,6 +114,7 @@ func SparseCore(b *graph.Graph) (*Decomposition, SparseStats, error) {
 		}
 		return [2]int{u, v}
 	}
+	steps := 0
 	for w := 0; w < n; w++ {
 		if !isW[w] {
 			continue
@@ -98,6 +128,10 @@ func SparseCore(b *graph.Graph) (*Decomposition, SparseStats, error) {
 			minU, minV, minW := w, x, wts[i]
 			prev, cur := w, x
 			for !isW[cur] {
+				steps++
+				if err := poll(ctx, steps); err != nil {
+					return nil, SparseStats{}, err
+				}
 				next, nw := otherAliveNeighbor(b, alive, cur, prev)
 				visited[[2]int{cur, next}] = true
 				if nw < minW {
@@ -109,7 +143,7 @@ func SparseCore(b *graph.Graph) (*Decomposition, SparseStats, error) {
 			cut[edgeKey(minU, minV)] = true
 		}
 	}
-	// Step 3: remove the cut edges and tree-decompose.
+	// Remove the cut edges; Theorem 2.1 handles the resulting forest.
 	var forestEdges []graph.Edge
 	for _, e := range b.Edges() {
 		if !cut[edgeKey(e.U, e.V)] {
@@ -120,12 +154,7 @@ func SparseCore(b *graph.Graph) (*Decomposition, SparseStats, error) {
 	if !forest.IsForest() {
 		return nil, SparseStats{}, fmt.Errorf("decomp: internal error: cut set did not break all cycles")
 	}
-	td, err := Tree(forest)
-	if err != nil {
-		return nil, SparseStats{}, err
-	}
-	d := &Decomposition{G: b, Assign: td.Assign, Count: td.Count}
-	return d, SparseStats{CoreSize: wCount, CutEdges: len(cut)}, nil
+	return forest, SparseStats{CoreSize: wCount, CutEdges: len(cut)}, nil
 }
 
 // otherAliveNeighbor returns the unique alive neighbor of the degree-2 chain

@@ -1,6 +1,7 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,7 +27,16 @@ import (
 // worst-case constant certified by the local cut analysis is 1/3, and
 // measured values on non-adversarial weights sit at 1/2 or above — see
 // EXPERIMENTS.md E3).
-func Tree(g *graph.Graph) (*Decomposition, error) { return treeImpl(g, false) }
+func Tree(g *graph.Graph) (*Decomposition, error) {
+	return treeImpl(context.Background(), g, false)
+}
+
+// TreeCtx is Tree under a context: cancellation mid-build returns an error
+// wrapping ErrBuildCancelled (and the context's own error) within one poll
+// interval.
+func TreeCtx(ctx context.Context, g *graph.Graph) (*Decomposition, error) {
+	return treeImpl(ctx, g, false)
+}
 
 // TreeParallel is Tree with the per-bridge case analysis fanned out across
 // cores: 3-critical vertices come from the parallel machinery, the
@@ -34,9 +44,16 @@ func Tree(g *graph.Graph) (*Decomposition, error) { return treeImpl(g, false) }
 // the final cluster-id assignment is sequential — mirroring the "O(1)
 // parallel time after the 3-critical computation" claim of Theorem 2.1.
 // Results are identical to Tree.
-func TreeParallel(g *graph.Graph) (*Decomposition, error) { return treeImpl(g, true) }
+func TreeParallel(g *graph.Graph) (*Decomposition, error) {
+	return treeImpl(context.Background(), g, true)
+}
 
-func treeImpl(g *graph.Graph, parallel bool) (*Decomposition, error) {
+// TreeParallelCtx is TreeParallel under a context.
+func TreeParallelCtx(ctx context.Context, g *graph.Graph) (*Decomposition, error) {
+	return treeImpl(ctx, g, true)
+}
+
+func treeImpl(ctx context.Context, g *graph.Graph, parallel bool) (*Decomposition, error) {
 	if !g.IsForest() {
 		return nil, fmt.Errorf("decomp: Tree requires an acyclic graph")
 	}
@@ -89,6 +106,9 @@ func treeImpl(g *graph.Graph, parallel bool) (*Decomposition, error) {
 	seen := make([]bool, n)
 	var groups [][]int
 	for v := 0; v < n; v++ {
+		if err := poll(ctx, v); err != nil {
+			return nil, err
+		}
 		if seen[v] || crit[v] || d.Assign[v] >= 0 {
 			continue
 		}
@@ -102,6 +122,10 @@ func treeImpl(g *graph.Graph, parallel bool) (*Decomposition, error) {
 	errs := make([]error, len(groups))
 	choose := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if err := poll(ctx, i); err != nil {
+				errs[i] = err
+				return
+			}
 			choices[i], errs[i] = b.chooseCandidate(groups[i])
 		}
 	}
@@ -109,6 +133,9 @@ func treeImpl(g *graph.Graph, parallel bool) (*Decomposition, error) {
 		par.For(len(groups), 64, choose)
 	} else {
 		choose(0, len(groups))
+	}
+	if ctx.Err() != nil {
+		return nil, Cancelled(ctx)
 	}
 	for i := range groups {
 		if errs[i] != nil {

@@ -1,15 +1,20 @@
 package graph
 
+import "fmt"
+
 // InducedSubgraph returns the subgraph induced by the vertex set s, together
 // with the mapping from new vertex ids (0..len(s)−1) back to the originals.
-// Duplicate entries in s are an error caught by construction (they would
-// create self-loops only if s has duplicates; we guard explicitly).
-func (g *Graph) InducedSubgraph(s []int) (*Graph, []int) {
+// Duplicate or out-of-range entries in s return an error (a malformed
+// cluster, not a programming invariant of this package).
+func (g *Graph) InducedSubgraph(s []int) (*Graph, []int, error) {
 	idx := make(map[int]int, len(s))
 	back := make([]int, len(s))
 	for i, v := range s {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: InducedSubgraph vertex %d out of range [0,%d)", v, g.N())
+		}
 		if _, dup := idx[v]; dup {
-			panic("graph: duplicate vertex in InducedSubgraph")
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in InducedSubgraph", v)
 		}
 		idx[v] = i
 		back[i] = v
@@ -23,7 +28,11 @@ func (g *Graph) InducedSubgraph(s []int) (*Graph, []int) {
 			}
 		}
 	}
-	return MustFromEdges(len(s), es), back
+	sub, err := NewFromEdges(len(s), es)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, back, nil
 }
 
 // Closure returns the closure graph of cluster s: the induced subgraph on s

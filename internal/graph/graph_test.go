@@ -264,7 +264,10 @@ func TestConductanceUpperBoundIsUpperBound(t *testing.T) {
 
 func TestInducedSubgraph(t *testing.T) {
 	g := cycleGraph(6)
-	sub, back := g.InducedSubgraph([]int{1, 2, 3})
+	sub, back, err := g.InducedSubgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sub.N() != 3 || sub.M() != 2 {
 		t.Fatalf("induced N=%d M=%d", sub.N(), sub.M())
 	}
@@ -273,6 +276,12 @@ func TestInducedSubgraph(t *testing.T) {
 	}
 	if !sub.IsTree() {
 		t.Error("induced path should be a tree")
+	}
+	if _, _, err := g.InducedSubgraph([]int{1, 1}); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]int{99}); err == nil {
+		t.Error("out-of-range vertex accepted")
 	}
 }
 
@@ -307,7 +316,10 @@ func TestClosureConductanceSmallerThanInduced(t *testing.T) {
 		g := randomConnected(rng, 12, 8)
 		s := []int{0, 1, 2, 3}
 		clo, _ := g.Closure(s)
-		ind, _ := g.InducedSubgraph(s)
+		ind, _, err := g.InducedSubgraph(s)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if clo.N() > MaxExactConductance || !ind.Connected() {
 			continue
 		}

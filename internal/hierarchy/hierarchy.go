@@ -11,6 +11,7 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 
 	"hcd/internal/decomp"
@@ -57,6 +58,14 @@ type Hierarchy struct {
 
 // New builds the hierarchy for g.
 func New(g *graph.Graph, opt Options) (*Hierarchy, error) {
+	return NewCtx(context.Background(), g, opt)
+}
+
+// NewCtx is New under a context: the per-level clustering polls cancellation
+// and the level loop checks once per level, so a cancelled setup returns an
+// error wrapping decomp.ErrBuildCancelled promptly (the final dense coarse
+// factorization runs to completion once reached).
+func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (*Hierarchy, error) {
 	if opt.SizeCap < 2 {
 		return nil, fmt.Errorf("hierarchy: SizeCap must be ≥ 2")
 	}
@@ -66,7 +75,10 @@ func New(g *graph.Graph, opt Options) (*Hierarchy, error) {
 	h := &Hierarchy{}
 	cur := g
 	for level := 0; cur.N() > opt.DirectLimit && level < opt.MaxLevels; level++ {
-		d, err := decomp.FixedDegree(cur, opt.SizeCap, opt.Seed+int64(level))
+		if ctx.Err() != nil {
+			return nil, decomp.Cancelled(ctx)
+		}
+		d, err := decomp.FixedDegreeCtx(ctx, cur, opt.SizeCap, opt.Seed+int64(level))
 		if err != nil {
 			return nil, fmt.Errorf("hierarchy: level %d clustering failed: %w", level, err)
 		}

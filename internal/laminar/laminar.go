@@ -7,6 +7,7 @@
 package laminar
 
 import (
+	"context"
 	"fmt"
 
 	"hcd/internal/decomp"
@@ -22,13 +23,23 @@ type Laminar struct {
 // Build clusters g recursively with the Section 3.1 algorithm until the
 // quotient has at most coarse vertices (or no further reduction happens).
 func Build(g *graph.Graph, sizeCap, coarse int, seed int64) (*Laminar, error) {
+	return BuildCtx(context.Background(), g, sizeCap, coarse, seed)
+}
+
+// BuildCtx is Build under a context, checked once per level on top of the
+// per-level clustering's own polling; cancellation returns an error wrapping
+// decomp.ErrBuildCancelled.
+func BuildCtx(ctx context.Context, g *graph.Graph, sizeCap, coarse int, seed int64) (*Laminar, error) {
 	if coarse < 1 {
 		return nil, fmt.Errorf("laminar: coarse must be ≥ 1")
 	}
 	l := &Laminar{}
 	cur := g
 	for level := 0; cur.N() > coarse; level++ {
-		d, err := decomp.FixedDegree(cur, sizeCap, seed+int64(level))
+		if ctx.Err() != nil {
+			return nil, decomp.Cancelled(ctx)
+		}
+		d, err := decomp.FixedDegreeCtx(ctx, cur, sizeCap, seed+int64(level))
 		if err != nil {
 			return nil, err
 		}

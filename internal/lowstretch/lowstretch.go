@@ -10,6 +10,7 @@
 package lowstretch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,13 +25,21 @@ import (
 // adds the BFS tree edges to the forest, and contracts. The rng seed only
 // affects ball-growing start order.
 func AKPW(g *graph.Graph, seed int64) []graph.Edge {
+	out, _ := AKPWCtx(context.Background(), g, seed)
+	return out
+}
+
+// AKPWCtx is AKPW under a context, polling cancellation once per
+// ball-growing round (O(log n) rounds, each one pass over the active
+// edges). Results are identical to AKPW.
+func AKPWCtx(ctx context.Context, g *graph.Graph, seed int64) ([]graph.Edge, error) {
 	n := g.N()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	edges := g.Edges()
 	if len(edges) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Sort by resistance ascending (heaviest edges first).
 	sort.Slice(edges, func(i, j int) bool { return edges[i].W > edges[j].W })
@@ -52,6 +61,9 @@ func AKPW(g *graph.Graph, seed int64) []graph.Edge {
 	next := 0 // next unprocessed edge (edges sorted by class)
 	clusters := n
 	for round := 1; clusters > 1; round++ {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("lowstretch: cancelled: %w", ctx.Err())
+		}
 		// Activate all edges whose class is ≤ round.
 		for next < len(edges) && classOf(edges[next].W) <= round {
 			next++
@@ -63,7 +75,7 @@ func AKPW(g *graph.Graph, seed int64) []graph.Edge {
 			break // no cross-cluster edges remain: g is disconnected
 		}
 	}
-	return forest
+	return forest, nil
 }
 
 // growBalls performs one AKPW round: build the cluster multigraph over the
@@ -93,7 +105,20 @@ func growBalls(n int, active []graph.Edge, cluster []int, beta float64, rng *ran
 			bestPair[k] = e
 		}
 	}
-	for k, e := range bestPair {
+	// Fixed iteration order: ranging over the map directly would make the
+	// arc lists — and so the balls and the tree — vary run to run.
+	pairs := make([]pairKey, 0, len(bestPair))
+	for k := range bestPair {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, k := range pairs {
+		e := bestPair[k]
 		adj[k.a] = append(adj[k.a], arc{to: k.b, edge: e})
 		adj[k.b] = append(adj[k.b], arc{to: k.a, edge: e})
 	}

@@ -6,11 +6,20 @@
 package mst
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"hcd/internal/graph"
 	"hcd/internal/par"
 )
+
+// cancelled wraps the context's error for the build pipeline, which promotes
+// it to its ErrBuildCancelled sentinel; errors.Is(err, context.Canceled)
+// holds either way.
+func cancelled(ctx context.Context) error {
+	return fmt.Errorf("mst: cancelled: %w", ctx.Err())
+}
 
 // Objective selects between minimum- and maximum-weight spanning forests.
 type Objective int
@@ -60,6 +69,14 @@ func (u *unionFind) union(a, b int) bool {
 // Kruskal returns the edges of a spanning forest optimizing obj by sorting
 // all edges and greedily joining components.
 func Kruskal(g *graph.Graph, obj Objective) []graph.Edge {
+	out, _ := KruskalCtx(context.Background(), g, obj)
+	return out
+}
+
+// KruskalCtx is Kruskal under a context: the greedy union loop polls
+// cancellation at bounded intervals (the initial edge sort runs to
+// completion first). Results are identical to Kruskal.
+func KruskalCtx(ctx context.Context, g *graph.Graph, obj Objective) ([]graph.Edge, error) {
 	es := g.Edges()
 	if obj == Min {
 		sort.Slice(es, func(i, j int) bool { return es[i].W < es[j].W })
@@ -68,7 +85,10 @@ func Kruskal(g *graph.Graph, obj Objective) []graph.Edge {
 	}
 	uf := newUnionFind(g.N())
 	out := make([]graph.Edge, 0, max(g.N()-1, 0))
-	for _, e := range es {
+	for i, e := range es {
+		if i&4095 == 0 && ctx.Err() != nil {
+			return nil, cancelled(ctx)
+		}
 		if uf.union(e.U, e.V) {
 			out = append(out, e)
 			if len(out) == g.N()-1 {
@@ -76,7 +96,7 @@ func Kruskal(g *graph.Graph, obj Objective) []graph.Edge {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Prim returns the edges of a spanning forest optimizing obj using a binary
@@ -171,6 +191,15 @@ func (h *edgeHeap) pop() graph.Edge {
 // number of rounds is O(log n). When parallel is true the per-vertex best
 // edge scan and per-component reduction run across cores.
 func Boruvka(g *graph.Graph, obj Objective, parallel bool) []graph.Edge {
+	out, _ := BoruvkaCtx(context.Background(), g, obj, parallel)
+	return out
+}
+
+// BoruvkaCtx is Boruvka under a context, polling cancellation once per
+// merge round (each round is one O(m) scan, so the check interval is
+// bounded by a single pass over the graph). Results are identical to
+// Boruvka.
+func BoruvkaCtx(ctx context.Context, g *graph.Graph, obj Objective, parallel bool) ([]graph.Edge, error) {
 	n := g.N()
 	uf := newUnionFind(n)
 	var out []graph.Edge
@@ -201,6 +230,9 @@ func Boruvka(g *graph.Graph, obj Objective, parallel bool) []graph.Edge {
 	vertexBest := make([]cand, n)
 	comp := make([]int, n)
 	for {
+		if ctx.Err() != nil {
+			return nil, cancelled(ctx)
+		}
 		// Snapshot component labels so the parallel scan is read-only (find
 		// performs path halving and must not race).
 		for v := 0; v < n; v++ {
@@ -256,7 +288,7 @@ func Boruvka(g *graph.Graph, obj Objective, parallel bool) []graph.Edge {
 			break
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ForestGraph rebuilds a graph from forest edges over n vertices.

@@ -10,6 +10,7 @@
 package sparsify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,25 +60,55 @@ type Result struct {
 // Sparsify returns the subgraph B of the connected graph g consisting of a
 // spanning tree plus the ⌈ExtraFraction·n⌉ off-tree edges of largest
 // stretch. Every edge of B is an edge of g with its original weight.
+//
+// Sparsify = BaseTreeCtx + FromTreeCtx with context.Background(); the two
+// halves are exposed separately so the decomposition pipeline can time the
+// base-tree construction apart from the stretch-driven edge selection.
 func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
+	return SparsifyCtx(context.Background(), g, opt)
+}
+
+// SparsifyCtx is Sparsify under a context.
+func SparsifyCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	tree, err := BaseTreeCtx(ctx, g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return FromTreeCtx(ctx, g, tree, opt)
+}
+
+// BaseTreeCtx validates g and builds the spanning tree opt.Base selects.
+// For n ≤ 2 the tree is the whole (at most one-edge) graph.
+func BaseTreeCtx(ctx context.Context, g *graph.Graph, opt Options) ([]graph.Edge, error) {
 	if !g.Connected() {
 		return nil, fmt.Errorf("sparsify: graph must be connected")
 	}
 	if opt.ExtraFraction < 0 {
 		return nil, fmt.Errorf("sparsify: negative ExtraFraction")
 	}
+	if g.N() <= 2 {
+		return g.Edges(), nil
+	}
+	switch opt.Base {
+	case MaxWeightTree:
+		return mst.KruskalCtx(ctx, g, mst.Max)
+	case LowStretchTree:
+		return lowstretch.AKPWCtx(ctx, g, opt.Seed)
+	default:
+		return nil, fmt.Errorf("sparsify: unknown base tree %d", opt.Base)
+	}
+}
+
+// FromTreeCtx completes the sparsification over an already-built base tree:
+// compute stretches, keep the ⌈ExtraFraction·n⌉ off-tree edges of largest
+// stretch, and assemble B.
+func FromTreeCtx(ctx context.Context, g *graph.Graph, tree []graph.Edge, opt Options) (*Result, error) {
 	n := g.N()
 	if n <= 2 {
 		return &Result{B: g.Clone(), TreeEdges: g.Edges()}, nil
 	}
-	var tree []graph.Edge
-	switch opt.Base {
-	case MaxWeightTree:
-		tree = mst.Kruskal(g, mst.Max)
-	case LowStretchTree:
-		tree = lowstretch.AKPW(g, opt.Seed)
-	default:
-		return nil, fmt.Errorf("sparsify: unknown base tree %d", opt.Base)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sparsify: cancelled: %w", err)
 	}
 	stretches, avg, err := lowstretch.Stretches(g, tree)
 	if err != nil {
@@ -98,6 +129,9 @@ func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
 		}
 	}
 	sort.Slice(off, func(i, j int) bool { return off[i].s > off[j].s })
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sparsify: cancelled: %w", err)
+	}
 	budget := int(opt.ExtraFraction*float64(n) + 0.5)
 	if budget > len(off) {
 		budget = len(off)

@@ -8,6 +8,7 @@
 package spectralcut
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,6 +47,14 @@ type Stats struct {
 // small clusters are certified exactly and large clusters use the Cheeger
 // lower bound λ₂/2).
 func Decompose(g *graph.Graph, opt Options) (*decomp.Decomposition, Stats, error) {
+	return DecomposeCtx(context.Background(), g, opt)
+}
+
+// DecomposeCtx is Decompose under a context, checked once per work-queue
+// item (each item costs at least one eigensolve or exact enumeration, so the
+// poll interval is bounded by a single split's work). Cancellation returns
+// an error wrapping decomp.ErrBuildCancelled.
+func DecomposeCtx(ctx context.Context, g *graph.Graph, opt Options) (*decomp.Decomposition, Stats, error) {
 	if opt.TargetPhi <= 0 {
 		return nil, Stats{}, fmt.Errorf("spectralcut: TargetPhi must be positive")
 	}
@@ -66,6 +75,9 @@ func Decompose(g *graph.Graph, opt Options) (*decomp.Decomposition, Stats, error
 	}
 	var done [][]int
 	for len(queue) > 0 {
+		if ctx.Err() != nil {
+			return nil, st, decomp.Cancelled(ctx)
+		}
 		if len(done)+len(queue) >= opt.MaxClusters {
 			done = append(done, queue...)
 			break
@@ -76,7 +88,10 @@ func Decompose(g *graph.Graph, opt Options) (*decomp.Decomposition, Stats, error
 			done = append(done, set)
 			continue
 		}
-		sub, back := g.InducedSubgraph(set)
+		sub, back, err := g.InducedSubgraph(set)
+		if err != nil {
+			return nil, st, err
+		}
 		if !sub.Connected() {
 			// Induced pieces can disconnect after a parent split.
 			sl, sk := sub.Components()

@@ -30,7 +30,10 @@ func TestDecomposeGrid(t *testing.T) {
 		if len(set) <= opt.MinSize {
 			continue
 		}
-		sub, _ := g.InducedSubgraph(set)
+		sub, _, err := g.InducedSubgraph(set)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if sub.N() <= graph.MaxExactConductance && sub.Connected() {
 			if phi := sub.ExactConductance(); phi < opt.TargetPhi {
 				t.Fatalf("cluster of %d vertices has conductance %v < target", len(set), phi)

@@ -170,6 +170,13 @@ func NewHierarchy(g *Graph, opt HierarchyOptions) (*Hierarchy, error) {
 	return hierarchy.New(g, opt)
 }
 
+// NewHierarchyCtx is NewHierarchy under a context: the per-level clusterings
+// poll cancellation, so a cancelled setup returns an error wrapping
+// ErrBuildCancelled promptly.
+func NewHierarchyCtx(ctx context.Context, g *Graph, opt HierarchyOptions) (*Hierarchy, error) {
+	return hierarchy.NewCtx(ctx, g, opt)
+}
+
 // SolvePCG solves the Laplacian system A·x = b with preconditioned
 // conjugate gradients. b should be orthogonal to the constant vector on each
 // component; with opt.ProjectMean (default) it is projected automatically.

@@ -88,7 +88,7 @@ func SolvePCGCtx(ctx context.Context, g *Graph, b []float64, m Preconditioner, o
 // amortizes both the preconditioner and the work buffers. Solve is a thin
 // wrapper over this with context.Background().
 func SolveCtx(ctx context.Context, g *Graph, b []float64) (SolveResult, error) {
-	h, err := hierarchy.New(g, hierarchy.DefaultOptions())
+	h, err := hierarchy.NewCtx(ctx, g, hierarchy.DefaultOptions())
 	if err != nil {
 		return SolveResult{}, err
 	}
