@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-decomp vet fmt check race race-solver selfcheck experiments fig6 coverage
+.PHONY: all build test bench bench-decomp vet fmt check race race-solver selfcheck chaos fuzz experiments fig6 coverage
 
 all: build test
 
@@ -16,9 +16,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# check is the pre-merge gate: vet plus the full suite under the race
-# detector (the parallel solver kernels run with GOMAXPROCS > 1 in tests).
-check: vet race
+# check is the pre-merge gate: vet, the full suite under the race detector
+# (the parallel solver kernels run with GOMAXPROCS > 1 in tests), a short
+# fuzz pass over the input parsers, and the fault-recovery chaos battery.
+check: vet race fuzz chaos
 
 race:
 	$(GO) test -race ./...
@@ -40,6 +41,17 @@ bench-decomp:
 
 selfcheck:
 	$(GO) run ./cmd/hcd-selfcheck -rounds 25
+
+# chaos: the deterministic fault-recovery battery — injected NaNs, worker
+# panics, corrupted builds, forced breakdowns, malformed input.
+chaos:
+	$(GO) run ./cmd/hcd-selfcheck -chaos
+
+# fuzz: short fuzzing passes over the graph input parsers with a
+# write/reparse round-trip oracle (go fuzzing runs one target at a time).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime=10s ./internal/gio
+	$(GO) test -run '^$$' -fuzz FuzzReadMatrixMarket -fuzztime=10s ./internal/gio
 
 experiments:
 	$(GO) run ./cmd/hcd-experiments

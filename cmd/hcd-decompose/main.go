@@ -11,8 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
-	"os"
 	"sort"
 	"time"
 
@@ -20,7 +18,9 @@ import (
 	"hcd/internal/cli"
 )
 
-func main() {
+func main() { cli.Main(run) }
+
+func run() error {
 	graphSpec := flag.String("graph", "grid3d:16", "workload graph spec (grid2d:S, grid3d:S, mesh:S, oct:S, tree:N, regular:N,D, unit2d:S)")
 	algo := flag.String("algo", "fixed", "decomposition algorithm: tree | fixed | planar | minorfree")
 	k := flag.Int("k", 4, "cluster size cap for -algo fixed")
@@ -32,7 +32,7 @@ func main() {
 
 	g, err := cli.BuildGraph(*graphSpec, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	start := time.Now()
 	var d *hcd.Decomposition
@@ -56,10 +56,10 @@ func main() {
 			d = res.D
 		}
 	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	elapsed := time.Since(start)
 	if *merge > 0 {
@@ -68,7 +68,7 @@ func main() {
 		fmt.Printf("merged %d singleton clusters (floor φ ≥ %v)\n", merges, *merge)
 	}
 	if err := hcd.Validate(d); err != nil {
-		log.Fatalf("decomposition invalid: %v", err)
+		return fmt.Errorf("decomposition invalid: %w", err)
 	}
 	rep := hcd.Evaluate(d)
 	fmt.Printf("graph: %s  n=%d m=%d\n", *graphSpec, g.N(), g.M())
@@ -95,8 +95,9 @@ func main() {
 		}
 	}
 	if rep.Phi <= 0 {
-		os.Exit(1)
+		return fmt.Errorf("degenerate decomposition: φ = %v", rep.Phi)
 	}
+	return nil
 }
 
 func printHistogram(d *hcd.Decomposition) {

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	hcd-selfcheck -rounds 50 -seed 1
+//	hcd-selfcheck -chaos
+//
+// The -chaos flag runs the deterministic fault-recovery battery instead of
+// the theorem checks: each chaos check injects a fault (NaN matvec, worker
+// panic, corrupted clustering, forced breakdown, malformed input) and
+// asserts the library recovers or fails cleanly as documented.
 package main
 
 import (
@@ -25,7 +31,15 @@ var failures int
 func main() {
 	rounds := flag.Int("rounds", 25, "random instances per check")
 	seed := flag.Int64("seed", 1, "base seed")
+	chaos := flag.Bool("chaos", false, "run the deterministic fault-recovery battery instead of the theorem checks")
 	flag.Parse()
+
+	if *chaos {
+		if bad := chaosChecks(); bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	checks := []struct {
 		name string

@@ -12,14 +12,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"time"
 
 	"hcd"
 	"hcd/internal/cli"
 )
 
-func main() {
+func main() { cli.Main(run) }
+
+func run() error {
 	graphSpec := flag.String("graph", "oct:12", "workload graph spec")
 	precond := flag.String("precond", "hierarchy", "preconditioner: none | jacobi | steiner | subgraph | tree | hierarchy")
 	method := flag.String("method", "pcg", "iteration: pcg | chebyshev")
@@ -34,7 +35,7 @@ func main() {
 
 	g, err := cli.BuildGraph(*graphSpec, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	b := cli.MeanFreeRHS(g.N(), *seed+100)
 	buildStart := time.Now()
@@ -47,7 +48,7 @@ func main() {
 	case "steiner":
 		d, derr := hcd.DecomposeFixedDegree(g, *k, *seed)
 		if derr != nil {
-			log.Fatal(derr)
+			return derr
 		}
 		m, err = hcd.NewSteinerPreconditioner(d)
 	case "subgraph":
@@ -69,10 +70,10 @@ func main() {
 			m = h
 		}
 	default:
-		log.Fatalf("unknown preconditioner %q", *precond)
+		return fmt.Errorf("unknown preconditioner %q", *precond)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	buildTime := time.Since(buildStart)
 
@@ -95,7 +96,7 @@ func main() {
 		copt.Tol = *tol
 		cres, cerr := hcd.SolveChebyshevCtx(ctx, g, b, m, copt)
 		if cerr != nil {
-			log.Fatal(cerr)
+			return cerr
 		}
 		fmt.Printf("chebyshev spectrum estimate: [%.4g, %.4g]\n", cres.Lmin, cres.Lmax)
 		res = cres.SolveResult
@@ -105,7 +106,7 @@ func main() {
 		}
 		res, err = hcd.SolvePCGCtx(ctx, g, b, m, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	solveTime := time.Since(solveStart)
@@ -127,6 +128,7 @@ func main() {
 			fmt.Printf("%d %.6e\n", i, r)
 		}
 	}
+	return nil
 }
 
 func printMetrics(m hcd.SolveMetrics) {

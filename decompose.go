@@ -165,8 +165,12 @@ func DecomposeCtx(ctx context.Context, g *Graph, opt DecomposeOptions) (*Decompo
 		return nil, fmt.Errorf("hcd: unknown decomposition method %d", int(opt.Method))
 	}
 	if err == nil && !opt.SkipReport {
-		err = p.Run(decomp.StageEvaluate, func(context.Context) (decomp.StageInfo, error) {
-			res.Report = decomp.Evaluate(res.D, graph.MaxExactConductance)
+		err = p.Run(decomp.StageEvaluate, func(ctx context.Context) (decomp.StageInfo, error) {
+			rep, rerr := decomp.EvaluateCtx(ctx, res.D, graph.MaxExactConductance)
+			if rerr != nil {
+				return decomp.StageInfo{Vertices: g.N(), Edges: g.M()}, rerr
+			}
+			res.Report = rep
 			return decomp.StageInfo{Vertices: g.N(), Edges: g.M()}, nil
 		})
 	}

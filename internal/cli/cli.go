@@ -10,6 +10,7 @@ import (
 
 	"hcd/internal/gio"
 	"hcd/internal/graph"
+	"hcd/internal/par"
 	"hcd/internal/treealg"
 	"hcd/internal/workload"
 )
@@ -156,4 +157,24 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return sb.String()
+}
+
+// Main runs the body of a command and guarantees a clean exit: a returned
+// error prints to stderr and exits 1, and an escaped panic — from a corrupted
+// input driving library code somewhere off its tested paths — is recovered
+// and reported the same way instead of crashing with a raw goroutine dump.
+// Commands keep their logic in a plain run() error and call cli.Main(run).
+func Main(run func() error) {
+	err := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("internal error: %w", par.AsError(v))
+			}
+		}()
+		return run()
+	}()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
 }

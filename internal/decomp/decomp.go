@@ -15,12 +15,37 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"hcd/internal/graph"
 	"hcd/internal/par"
 )
+
+// mustClosure builds the closure of a cluster whose membership is unique and
+// in-range by construction (it came out of this package's own partition
+// bookkeeping). An error here is an internal invariant violation, so it
+// panics — caller-supplied clusters go through graph.Closure's error return.
+func mustClosure(g *graph.Graph, vs []int) *graph.Graph {
+	clo, _, err := g.Closure(vs)
+	if err != nil {
+		panic(err)
+	}
+	return clo
+}
+
+// mustExactConductance is ExactConductance for closures the caller has
+// already checked against graph.MaxExactConductance; the error is
+// unreachable and treated as an invariant violation.
+func mustExactConductance(g *graph.Graph) float64 {
+	phi, err := g.ExactConductance()
+	if err != nil {
+		panic(err)
+	}
+	return phi
+}
 
 // Decomposition is a partition of the vertices of G into Count clusters.
 type Decomposition struct {
@@ -126,15 +151,26 @@ const evalGrain = 16
 // over clusters happen serially in cluster order, so the result is
 // bit-identical to EvaluateSerial.
 func Evaluate(d *Decomposition, exactLimit int) Report {
-	return evaluate(d, exactLimit, true)
+	r, _ := evaluate(context.Background(), d, exactLimit, true)
+	return r
+}
+
+// EvaluateCtx is Evaluate with cancellation: the per-cluster measurement
+// loop polls ctx between clusters (the exact-conductance enumerations make
+// an unbounded evaluation the longest non-cancellable stretch of a build
+// otherwise) and returns an ErrBuildCancelled-wrapped error when the
+// context is done.
+func EvaluateCtx(ctx context.Context, d *Decomposition, exactLimit int) (Report, error) {
+	return evaluate(ctx, d, exactLimit, true)
 }
 
 // EvaluateSerial is the sequential reference implementation of Evaluate.
 func EvaluateSerial(d *Decomposition, exactLimit int) Report {
-	return evaluate(d, exactLimit, false)
+	r, _ := evaluate(context.Background(), d, exactLimit, false)
+	return r
 }
 
-func evaluate(d *Decomposition, exactLimit int, parallel bool) Report {
+func evaluate(ctx context.Context, d *Decomposition, exactLimit int, parallel bool) (Report, error) {
 	r := Report{Phi: math.Inf(1), PhiExact: true, Rho: d.ReductionFactor(), Count: d.Count, GammaMin: math.Inf(1)}
 	// γ_avg: fraction of edge weight crossing between clusters. The float
 	// sum stays serial in vertex order regardless of the parallel flag (a
@@ -158,12 +194,23 @@ func evaluate(d *Decomposition, exactLimit int, parallel bool) Report {
 	phi := make([]float64, d.Count)
 	exact := make([]bool, d.Count)
 	gamma := make([]float64, d.Count)
+	// stopped lets every chunk of the fan-out abandon its remaining
+	// clusters as soon as one of them observes cancellation; the incomplete
+	// arrays are discarded, so the early exit cannot skew a returned report.
+	var stopped atomic.Bool
 	measure := func(lo, hi int) {
 		for c := lo; c < hi; c++ {
+			if stopped.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				stopped.Store(true)
+				return
+			}
 			vs := order[start[c]:start[c+1]]
-			clo, _ := d.G.Closure(vs)
+			clo := mustClosure(d.G, vs)
 			if clo.N() <= exactLimit && clo.N() <= graph.MaxExactConductance {
-				phi[c] = clo.ExactConductance()
+				phi[c] = mustExactConductance(clo)
 				exact[c] = true
 			} else {
 				phi[c] = clo.ConductanceUpperBound()
@@ -197,6 +244,9 @@ func evaluate(d *Decomposition, exactLimit int, parallel bool) Report {
 	} else {
 		measure(0, d.Count)
 	}
+	if stopped.Load() || ctx.Err() != nil {
+		return Report{}, Cancelled(ctx)
+	}
 	for c := 0; c < d.Count; c++ {
 		size := start[c+1] - start[c]
 		if size > r.MaxClusterSize {
@@ -215,7 +265,7 @@ func evaluate(d *Decomposition, exactLimit int, parallel bool) Report {
 			r.GammaMin = gamma[c]
 		}
 	}
-	return r
+	return r, nil
 }
 
 // GammaViolations counts, per cluster, the vertices v with

@@ -34,9 +34,9 @@ func Details(d *Decomposition, exactLimit int) []ClusterStats {
 		if st.Vol > 0 {
 			st.BoundaryRatio = st.Out / st.Vol
 		}
-		clo, _ := d.G.Closure(vs)
+		clo := mustClosure(d.G, vs)
 		if clo.N() <= exactLimit && clo.N() <= graph.MaxExactConductance {
-			st.Phi = clo.ExactConductance()
+			st.Phi = mustExactConductance(clo)
 			st.PhiExact = true
 		} else {
 			st.Phi = clo.ConductanceUpperBound()

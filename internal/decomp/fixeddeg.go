@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hcd/internal/faultinject"
 	"hcd/internal/graph"
 	"hcd/internal/par"
 	"hcd/internal/treealg"
@@ -64,6 +65,15 @@ func FixedDegreeCtx(ctx context.Context, g *graph.Graph, sizeCap int, seed int64
 	})
 	if ctx.Err() != nil {
 		return nil, Cancelled(ctx)
+	}
+	if faultinject.Enabled() && faultinject.Fire(faultinject.PerturbCorrupt) {
+		// Chaos: wipe the heaviest-edge selection, as if the parallel scan
+		// produced garbage. Every vertex becomes an isolated singleton, so
+		// the build "succeeds" with no reduction — the degenerate shape the
+		// hierarchy's no-reduction guard must catch.
+		for i := range bestTo {
+			bestTo[i] = -1
+		}
 	}
 	fEdges := make([]graph.Edge, 0, n)
 	for v := 0; v < n; v++ {

@@ -60,11 +60,11 @@ func MergeSingletons(d *Decomposition, minPhi float64, exactLimit int) (*Decompo
 		})
 		for _, cd := range cands {
 			set := append([]int{v}, members[cd.c]...)
-			clo, _ := d.G.Closure(set)
+			clo := mustClosure(d.G, set)
 			if clo.N() > exactLimit || clo.N() > graph.MaxExactConductance {
 				continue
 			}
-			if clo.ExactConductance() >= minPhi {
+			if mustExactConductance(clo) >= minPhi {
 				members[cd.c] = append(members[cd.c], v)
 				members[assign[v]] = nil
 				assign[v] = cd.c

@@ -13,6 +13,9 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"hcd/internal/faultinject"
+	"hcd/internal/par"
 )
 
 // ErrBuildCancelled reports that a decomposition build was stopped by its
@@ -127,14 +130,24 @@ func (p *Pipeline) Context() context.Context { return p.ctx }
 // cancelled build surfaces the same sentinel regardless of which internal
 // package noticed the context first. Metrics are recorded even for failed
 // stages, so a cancelled build still reports where the time went.
+//
+// A panic inside the stage — including worker panics surfaced by
+// internal/par — is recovered and returned as an error carrying the
+// panicking goroutine's stack, so a build can fail but never crash the
+// caller.
 func (p *Pipeline) Run(name string, fn func(ctx context.Context) (StageInfo, error)) error {
 	if p.ctx.Err() != nil {
 		return fmt.Errorf("decomp: stage %s skipped: %w", name, Cancelled(p.ctx))
 	}
+	if faultinject.Enabled() {
+		if err := faultinject.Err(faultinject.StageFail); err != nil {
+			return fmt.Errorf("decomp: stage %s: %w", name, err)
+		}
+	}
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	info, err := fn(p.ctx)
+	info, err := runStage(p.ctx, fn)
 	dur := time.Since(start)
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
@@ -153,6 +166,16 @@ func (p *Pipeline) Run(name string, fn func(ctx context.Context) (StageInfo, err
 		return fmt.Errorf("decomp: stage %s: %w", name, err)
 	}
 	return nil
+}
+
+// runStage invokes one stage function with panic containment.
+func runStage(ctx context.Context, fn func(ctx context.Context) (StageInfo, error)) (info StageInfo, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("panic during stage: %w", par.AsError(v))
+		}
+	}()
+	return fn(ctx)
 }
 
 func cancellation(err error) bool {

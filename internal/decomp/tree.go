@@ -261,13 +261,13 @@ func (b *treeBuilder) pathShape(group []int) (mid int, ends [2]int) {
 func (b *treeBuilder) addOwn(cands *[]candidate, own [][]int, leftover []int) {
 	c := candidate{own: own, minScore: math.Inf(1)}
 	for _, set := range own {
-		clo, _ := b.g.Closure(set)
+		clo := mustClosure(b.g, set)
 		if clo.N() > graph.MaxExactConductance {
 			// Cannot happen for groups of ≤ 3 tree vertices, whose closures
 			// have at most 9 vertices; guard anyway.
 			return
 		}
-		if phi := clo.ExactConductance(); phi < c.minScore {
+		if phi := mustExactConductance(clo); phi < c.minScore {
 			c.minScore = phi
 		}
 	}

@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled() {
+		t.Fatal("Enabled() true with no plan active")
+	}
+	if Fire(MatvecNaN) {
+		t.Fatal("Fire fired with no plan active")
+	}
+	if err := Err(StageFail); err != nil {
+		t.Fatalf("Err returned %v with no plan active", err)
+	}
+	if Hits(MatvecNaN) != 0 {
+		t.Fatal("hits counted with no plan active")
+	}
+}
+
+func TestFireWindow(t *testing.T) {
+	restore := Activate(map[string]Spec{
+		MatvecNaN: {OnHit: 3, Count: 2},
+	})
+	defer restore()
+	if !Enabled() {
+		t.Fatal("Enabled() false with a plan active")
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i, w := range want {
+		if got := Fire(MatvecNaN); got != w {
+			t.Fatalf("hit %d: Fire = %v, want %v", i+1, got, w)
+		}
+	}
+	if Hits(MatvecNaN) != len(want) {
+		t.Fatalf("Hits = %d, want %d", Hits(MatvecNaN), len(want))
+	}
+	// An unconfigured point never fires and never counts.
+	if Fire(WorkerPanic) {
+		t.Fatal("unconfigured point fired")
+	}
+	if Hits(WorkerPanic) != 0 {
+		t.Fatal("unconfigured point counted hits")
+	}
+}
+
+func TestOpenEndedCount(t *testing.T) {
+	restore := Activate(map[string]Spec{StageFail: {OnHit: 2}})
+	defer restore()
+	if Fire(StageFail) {
+		t.Fatal("fired before OnHit")
+	}
+	for i := 0; i < 10; i++ {
+		if err := Err(StageFail); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: Err = %v, want ErrInjected", i+2, err)
+		}
+	}
+}
+
+func TestRestoreAndReactivate(t *testing.T) {
+	restore := Activate(map[string]Spec{MatvecNaN: {}})
+	if !Fire(MatvecNaN) {
+		t.Fatal("default spec should fire on the first hit")
+	}
+	restore()
+	if Enabled() || Fire(MatvecNaN) {
+		t.Fatal("plan still live after restore")
+	}
+	restore2 := Activate(map[string]Spec{MatvecNaN: {}})
+	defer restore2()
+	if Hits(MatvecNaN) != 0 {
+		t.Fatal("hit counter leaked across plans")
+	}
+}
+
+func TestActivateOverLivePlanPanics(t *testing.T) {
+	restore := Activate(nil)
+	defer restore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Activate over a live plan did not panic")
+		}
+	}()
+	Activate(nil)
+}
+
+func TestConcurrentFire(t *testing.T) {
+	restore := Activate(map[string]Spec{WorkerPanic: {OnHit: 1, Count: 5}})
+	defer restore()
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	fires := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if Fire(WorkerPanic) {
+					fires[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fires {
+		total += f
+	}
+	if total != 5 {
+		t.Fatalf("fired %d times across goroutines, want exactly 5", total)
+	}
+	if Hits(WorkerPanic) != goroutines*per {
+		t.Fatalf("Hits = %d, want %d", Hits(WorkerPanic), goroutines*per)
+	}
+}

@@ -34,9 +34,45 @@ func WriteEdgeList(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
+// Parser hardening limits. Both formats carry attacker-controllable size
+// declarations ("n <count>" headers, MatrixMarket size lines); the limits
+// bound what a malformed or hostile file can make the parser allocate before
+// any real data is seen.
+const (
+	// MaxVertices bounds declared and implied vertex counts (~67M).
+	MaxVertices = 1 << 26
+	// MaxEntries bounds the declared MatrixMarket entry count (~268M).
+	MaxEntries = 1 << 28
+)
+
+// badInput builds a line-numbered parse error wrapping graph.ErrInvalidInput,
+// so callers can distinguish malformed input (errors.Is) from I/O failures.
+func badInput(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("gio: line %d: %s: %w", line, fmt.Sprintf(format, args...), graph.ErrInvalidInput)
+}
+
+// checkWeight validates a parsed edge weight: it must be finite and
+// positive. NaN, ±Inf, zero and negative weights are data corruption for a
+// Laplacian (a negative weight even breaks positive semidefiniteness), so
+// they are rejected at the parse boundary with the offending line number
+// rather than deep inside graph construction.
+func checkWeight(line int, w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return badInput(line, "non-finite weight %v", w)
+	}
+	if w <= 0 {
+		return badInput(line, "non-positive weight %v", w)
+	}
+	return nil
+}
+
 // ReadEdgeList parses the edge-list format. Lines are "u v w" (w optional,
 // default 1); blank lines and '#' comments are skipped; an optional
 // "n <count>" line fixes the vertex count (otherwise 1 + max id).
+//
+// Malformed input — syntax errors, negative or oversized vertex ids,
+// non-finite or non-positive weights — returns a line-numbered error
+// wrapping graph.ErrInvalidInput.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -53,31 +89,46 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		fields := strings.Fields(text)
 		if fields[0] == "n" {
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("gio: line %d: bad n header", line)
+				return nil, badInput(line, "bad n header")
 			}
 			v, err := strconv.Atoi(fields[1])
 			if err != nil || v < 0 {
-				return nil, fmt.Errorf("gio: line %d: bad vertex count %q", line, fields[1])
+				return nil, badInput(line, "bad vertex count %q", fields[1])
+			}
+			if v > MaxVertices {
+				return nil, badInput(line, "vertex count %d exceeds the %d limit", v, MaxVertices)
 			}
 			n = v
 			continue
 		}
 		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("gio: line %d: want 'u v [w]', got %q", line, text)
+			return nil, badInput(line, "want 'u v [w]', got %q", text)
 		}
 		u, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[0])
+			return nil, badInput(line, "bad vertex %q", fields[0])
 		}
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: bad vertex %q", line, fields[1])
+			return nil, badInput(line, "bad vertex %q", fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, badInput(line, "negative vertex id in %q", text)
+		}
+		if u > MaxVertices || v > MaxVertices {
+			return nil, badInput(line, "vertex id exceeds the %d limit in %q", MaxVertices, text)
+		}
+		if u == v {
+			return nil, badInput(line, "self-loop %d-%d", u, v)
 		}
 		w := 1.0
 		if len(fields) == 3 {
 			w, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("gio: line %d: bad weight %q", line, fields[2])
+				return nil, badInput(line, "bad weight %q", fields[2])
+			}
+			if err := checkWeight(line, w); err != nil {
+				return nil, err
 			}
 		}
 		edges = append(edges, graph.Edge{U: u, V: v, W: w})
@@ -94,6 +145,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	if n < 0 {
 		n = maxID + 1
 	}
+	if maxID >= n {
+		return nil, fmt.Errorf("gio: vertex id %d outside declared count %d: %w", maxID, n, graph.ErrInvalidInput)
+	}
 	return graph.NewFromEdges(n, edges)
 }
 
@@ -102,19 +156,24 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 // once, general files must contain both triangles consistently (entries are
 // merged by absolute-value max). Diagonal entries are skipped; entry values
 // become |a_ij|; pattern files get unit weights.
+// Malformed input returns a line-numbered error wrapping
+// graph.ErrInvalidInput; the declared sizes are bounded by MaxVertices and
+// MaxEntries, and nothing is allocated proportional to a declared size
+// before the corresponding data has actually been read.
 func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 1
 	if !sc.Scan() {
-		return nil, fmt.Errorf("gio: empty MatrixMarket stream")
+		return nil, fmt.Errorf("gio: empty MatrixMarket stream: %w", graph.ErrInvalidInput)
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
-		return nil, fmt.Errorf("gio: unsupported MatrixMarket header %q", sc.Text())
+		return nil, badInput(line, "unsupported MatrixMarket header %q", sc.Text())
 	}
 	pattern := header[3] == "pattern"
 	if !pattern && header[3] != "real" && header[3] != "integer" {
-		return nil, fmt.Errorf("gio: unsupported field type %q", header[3])
+		return nil, badInput(line, "unsupported field type %q", header[3])
 	}
 	symmetric := false
 	if len(header) >= 5 {
@@ -123,28 +182,52 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 			symmetric = true
 		case "general":
 		default:
-			return nil, fmt.Errorf("gio: unsupported symmetry %q", header[4])
+			return nil, badInput(line, "unsupported symmetry %q", header[4])
 		}
 	}
 	// Skip comments, read the size line.
 	var rows, cols, nnz int
+	sized := false
 	for sc.Scan() {
+		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "%") {
 			continue
 		}
 		if _, err := fmt.Sscanf(text, "%d %d %d", &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("gio: bad size line %q: %w", text, err)
+			return nil, badInput(line, "bad size line %q: %v", text, err)
 		}
+		sized = true
 		break
 	}
+	if !sized {
+		return nil, fmt.Errorf("gio: missing MatrixMarket size line: %w", graph.ErrInvalidInput)
+	}
 	if rows != cols {
-		return nil, fmt.Errorf("gio: matrix is %dx%d, need square", rows, cols)
+		return nil, badInput(line, "matrix is %dx%d, need square", rows, cols)
+	}
+	if rows < 0 || nnz < 0 {
+		return nil, badInput(line, "negative size %d %d %d", rows, cols, nnz)
+	}
+	if rows > MaxVertices {
+		return nil, badInput(line, "dimension %d exceeds the %d limit", rows, MaxVertices)
+	}
+	if nnz > MaxEntries {
+		return nil, badInput(line, "entry count %d exceeds the %d limit", nnz, MaxEntries)
 	}
 	type key struct{ u, v int }
-	weights := make(map[key]float64, nnz)
+	// Size the map by the declared nnz, but cap the pre-allocation: the
+	// declaration is untrusted until that many entries have actually been
+	// parsed, and an unchecked make(map, nnz) is an OOM on a hostile size
+	// line with no data behind it.
+	hint := nnz
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	weights := make(map[key]float64, hint)
 	read := 0
 	for read < nnz && sc.Scan() {
+		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "%") {
 			continue
@@ -155,15 +238,18 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 			want = 2
 		}
 		if len(fields) < want {
-			return nil, fmt.Errorf("gio: short entry line %q", text)
+			return nil, badInput(line, "short entry line %q", text)
 		}
 		i, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("gio: bad row index %q", fields[0])
+			return nil, badInput(line, "bad row index %q", fields[0])
 		}
 		j, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("gio: bad col index %q", fields[1])
+			return nil, badInput(line, "bad col index %q", fields[1])
+		}
+		if i < 1 || i > rows || j < 1 || j > rows {
+			return nil, badInput(line, "entry (%d, %d) outside the declared %dx%d matrix", i, j, rows, rows)
 		}
 		read++
 		if i == j {
@@ -173,7 +259,10 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 		if !pattern {
 			w, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("gio: bad value %q", fields[2])
+				return nil, badInput(line, "bad value %q", fields[2])
+			}
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, badInput(line, "non-finite value %v", w)
 			}
 			w = math.Abs(w)
 			if w == 0 {
@@ -189,8 +278,11 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 			weights[k] = w
 		}
 	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
 	if read < nnz {
-		return nil, fmt.Errorf("gio: expected %d entries, found %d", nnz, read)
+		return nil, fmt.Errorf("gio: expected %d entries, found %d: %w", nnz, read, graph.ErrInvalidInput)
 	}
 	_ = symmetric // both triangles collapse into the same undirected edge
 	edges := make([]graph.Edge, 0, len(weights))

@@ -40,12 +40,18 @@ func (g *Graph) InducedSubgraph(s []int) (*Graph, []int, error) {
 // that edge's weight. Cluster vertices keep ids 0..len(s)−1 (in the order of
 // s); stubs follow. This is the graph G°ᵢ of the paper's Section 2, whose
 // conductance defines a [φ, ρ] decomposition.
-func (g *Graph) Closure(s []int) (*Graph, []int) {
+//
+// Duplicate or out-of-range vertices in s describe a malformed cluster, not
+// a package invariant: they return an error wrapping ErrInvalidInput.
+func (g *Graph) Closure(s []int) (*Graph, []int, error) {
 	idx := make(map[int]int, len(s))
 	back := make([]int, len(s))
 	for i, v := range s {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: Closure vertex %d out of range [0,%d): %w", v, g.N(), ErrInvalidInput)
+		}
 		if _, dup := idx[v]; dup {
-			panic("graph: duplicate vertex in Closure")
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in Closure: %w", v, ErrInvalidInput)
 		}
 		idx[v] = i
 		back[i] = v
@@ -65,7 +71,7 @@ func (g *Graph) Closure(s []int) (*Graph, []int) {
 			}
 		}
 	}
-	return MustFromEdges(next, es), back
+	return MustFromEdges(next, es), back, nil
 }
 
 // Contract returns the quotient graph of g under the cluster assignment:

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -13,19 +14,21 @@ const MaxExactConductance = 24
 
 // ExactConductance computes the conductance of g by enumerating every cut.
 // It returns +Inf for graphs with fewer than 2 vertices or with isolated
-// structure making all cuts trivial, and panics if g has more than
-// MaxExactConductance vertices (use SweepCut / spectral bounds instead).
+// structure making all cuts trivial, and an error wrapping ErrInvalidInput
+// if g has more than MaxExactConductance vertices (use SweepCut / spectral
+// bounds instead — the enumeration would be astronomically large).
 //
 // Enumeration fixes vertex 0 on the "outside" (cuts are symmetric) and walks
 // the remaining 2^(n−1) subsets in Gray-code order, maintaining the cut
 // weight and the set volume incrementally.
-func (g *Graph) ExactConductance() float64 {
+func (g *Graph) ExactConductance() (float64, error) {
 	n := g.N()
 	if n < 2 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	if n > MaxExactConductance {
-		panic("graph: ExactConductance called on too large a graph")
+		return 0, fmt.Errorf("graph: ExactConductance on %d vertices exceeds the %d-vertex enumeration limit: %w",
+			n, MaxExactConductance, ErrInvalidInput)
 	}
 	totalVol := g.TotalVol()
 	in := make([]bool, n)
@@ -65,7 +68,7 @@ func (g *Graph) ExactConductance() float64 {
 			}
 		}
 	}
-	return best
+	return best, nil
 }
 
 func trailingZeros(x uint64) int {

@@ -14,4 +14,11 @@ var (
 	// ErrDisconnected marks operations that require a connected graph
 	// (e.g. effective-resistance queries).
 	ErrDisconnected = errors.New("graph not connected")
+
+	// ErrInvalidInput marks caller-supplied arguments that violate an
+	// operation's documented preconditions: duplicate or out-of-range
+	// vertices in a cluster handed to Closure, a graph too large for
+	// ExactConductance's cut enumeration. Internal invariant violations
+	// still panic; only caller-reachable misuse returns this sentinel.
+	ErrInvalidInput = errors.New("invalid input")
 )

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -89,7 +90,7 @@ func TestEmptyAndTrivialGraphs(t *testing.T) {
 	if !g.Connected() || g.TotalVol() != 0 {
 		t.Errorf("singleton: connected=%v vol=%v", g.Connected(), g.TotalVol())
 	}
-	if g.ExactConductance() != math.Inf(1) {
+	if exactPhi(t, g) != math.Inf(1) {
 		t.Errorf("singleton conductance should be +Inf")
 	}
 }
@@ -199,7 +200,7 @@ func TestCutMetrics(t *testing.T) {
 		t.Errorf("CutSparsity = %v", sp)
 	}
 	// Exact conductance must find this (or a better) cut.
-	phi := g.ExactConductance()
+	phi := exactPhi(t, g)
 	if phi > sp+1e-12 {
 		t.Errorf("ExactConductance %v > sparsity of known cut %v", phi, sp)
 	}
@@ -211,25 +212,25 @@ func TestCutMetrics(t *testing.T) {
 func TestExactConductanceKnownValues(t *testing.T) {
 	// Complete graph K4, unit weights: conductance = min over |S|=1,2.
 	// |S|=1: cut 3, vol 3 → 1. |S|=2: cut 4, vol 6 → 2/3.
-	if phi := completeGraph(4).ExactConductance(); math.Abs(phi-2.0/3.0) > 1e-12 {
+	if phi := exactPhi(t, completeGraph(4)); math.Abs(phi-2.0/3.0) > 1e-12 {
 		t.Errorf("K4 conductance = %v, want 2/3", phi)
 	}
 	// Path P3 (unit): best cut splits an end edge: cut 1, min vol 1 → 1.
-	if phi := pathGraph(3).ExactConductance(); math.Abs(phi-1) > 1e-12 {
+	if phi := exactPhi(t, pathGraph(3)); math.Abs(phi-1) > 1e-12 {
 		t.Errorf("P3 conductance = %v, want 1", phi)
 	}
 	// Path P4: cut middle edge: cut 1, vol 3 each side → 1/3.
-	if phi := pathGraph(4).ExactConductance(); math.Abs(phi-1.0/3.0) > 1e-12 {
+	if phi := exactPhi(t, pathGraph(4)); math.Abs(phi-1.0/3.0) > 1e-12 {
 		t.Errorf("P4 conductance = %v, want 1/3", phi)
 	}
 	// Star on 5 vertices: any leaf subset S (not containing center) has
 	// cut=|S|, vol=|S| → 1; best is 1... with center: S={center} cut 4 vol 4 → 1.
-	if phi := starGraph(5).ExactConductance(); math.Abs(phi-1) > 1e-12 {
+	if phi := exactPhi(t, starGraph(5)); math.Abs(phi-1) > 1e-12 {
 		t.Errorf("star conductance = %v, want 1", phi)
 	}
 	// Disconnected graph: conductance 0.
 	g := MustFromEdges(4, []Edge{{0, 1, 1}, {2, 3, 1}})
-	if phi := g.ExactConductance(); phi != 0 {
+	if phi := exactPhi(t, g); phi != 0 {
 		t.Errorf("disconnected conductance = %v, want 0", phi)
 	}
 }
@@ -241,8 +242,8 @@ func TestSweepCutMatchesExactOnPath(t *testing.T) {
 		perm[i] = i
 	}
 	s, set := g.SweepCut(perm)
-	if math.Abs(s-g.ExactConductance()) > 1e-12 {
-		t.Errorf("sweep %v vs exact %v", s, g.ExactConductance())
+	if exact := exactPhi(t, g); math.Abs(s-exact) > 1e-12 {
+		t.Errorf("sweep %v vs exact %v", s, exact)
 	}
 	if len(set) != 4 {
 		t.Errorf("sweep set = %v, want the middle cut", set)
@@ -254,7 +255,7 @@ func TestConductanceUpperBoundIsUpperBound(t *testing.T) {
 	for it := 0; it < 25; it++ {
 		n := 4 + rng.Intn(10)
 		g := randomConnected(rng, n, rng.Intn(12))
-		exact := g.ExactConductance()
+		exact := exactPhi(t, g)
 		ub := g.ConductanceUpperBound()
 		if ub < exact-1e-9 {
 			t.Fatalf("upper bound %v below exact %v (n=%d)", ub, exact, n)
@@ -287,7 +288,10 @@ func TestInducedSubgraph(t *testing.T) {
 
 func TestClosure(t *testing.T) {
 	g := cycleGraph(6)
-	clo, back := g.Closure([]int{1, 2, 3})
+	clo, back, err := g.Closure([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Cluster path 1-2-3 has two boundary edges (0,1) and (3,4): two stubs.
 	if clo.N() != 5 || clo.M() != 4 {
 		t.Fatalf("closure N=%d M=%d, want 5 4", clo.N(), clo.M())
@@ -315,7 +319,10 @@ func TestClosureConductanceSmallerThanInduced(t *testing.T) {
 	for it := 0; it < 20; it++ {
 		g := randomConnected(rng, 12, 8)
 		s := []int{0, 1, 2, 3}
-		clo, _ := g.Closure(s)
+		clo, _, cerr := g.Closure(s)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
 		ind, _, err := g.InducedSubgraph(s)
 		if err != nil {
 			t.Fatal(err)
@@ -323,8 +330,8 @@ func TestClosureConductanceSmallerThanInduced(t *testing.T) {
 		if clo.N() > MaxExactConductance || !ind.Connected() {
 			continue
 		}
-		pc := clo.ExactConductance()
-		pi := ind.ExactConductance()
+		pc := exactPhi(t, clo)
+		pi := exactPhi(t, ind)
 		if pc > pi+1e-9 {
 			t.Fatalf("closure conductance %v > induced %v", pc, pi)
 		}
@@ -581,6 +588,37 @@ func BenchmarkExactConductance16(b *testing.B) {
 	g := completeGraph(16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = g.ExactConductance()
+		_, _ = g.ExactConductance()
+	}
+}
+
+// exactPhi is ExactConductance for test graphs known to be under the
+// enumeration limit.
+func exactPhi(t *testing.T, g *Graph) float64 {
+	t.Helper()
+	phi, err := g.ExactConductance()
+	if err != nil {
+		t.Fatalf("ExactConductance: %v", err)
+	}
+	return phi
+}
+
+func TestClosureInvalidInput(t *testing.T) {
+	g := cycleGraph(6)
+	if _, _, err := g.Closure([]int{1, 2, 1}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("duplicate vertex: err = %v, want ErrInvalidInput", err)
+	}
+	if _, _, err := g.Closure([]int{1, 99}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("out-of-range vertex: err = %v, want ErrInvalidInput", err)
+	}
+	if _, _, err := g.Closure([]int{1, -1}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("negative vertex: err = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestExactConductanceTooLarge(t *testing.T) {
+	g := pathGraph(MaxExactConductance + 1)
+	if _, err := g.ExactConductance(); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("oversized graph: err = %v, want ErrInvalidInput", err)
 	}
 }

@@ -65,14 +65,26 @@ func New(g *graph.Graph, opt Options) (*Hierarchy, error) {
 // and the level loop checks once per level, so a cancelled setup returns an
 // error wrapping decomp.ErrBuildCancelled promptly (the final dense coarse
 // factorization runs to completion once reached).
-func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (*Hierarchy, error) {
+//
+// A panic during setup — including worker panics surfaced by internal/par —
+// is recovered and returned as an error. A clustering that produces no
+// vertex reduction on a still-large graph (a degenerate or corrupted build)
+// is rejected with an error rather than handed to the dense coarse
+// factorization, whose O(n³) cost on an unreduced graph would be a far worse
+// failure than an explicit one.
+func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (h *Hierarchy, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			h, err = nil, fmt.Errorf("hierarchy: panic during setup: %w", par.AsError(v))
+		}
+	}()
 	if opt.SizeCap < 2 {
 		return nil, fmt.Errorf("hierarchy: SizeCap must be ≥ 2")
 	}
 	if opt.DirectLimit < 1 {
 		opt.DirectLimit = 1
 	}
-	h := &Hierarchy{}
+	h = &Hierarchy{}
 	cur := g
 	for level := 0; cur.N() > opt.DirectLimit && level < opt.MaxLevels; level++ {
 		if ctx.Err() != nil {
@@ -83,7 +95,15 @@ func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (*Hierarchy, error
 			return nil, fmt.Errorf("hierarchy: level %d clustering failed: %w", level, err)
 		}
 		if d.Count >= cur.N() {
-			break // no reduction possible (e.g. all isolated vertices)
+			// No reduction possible (e.g. all isolated vertices). Tolerable
+			// only if the graph is already near the direct-solve size;
+			// otherwise the "coarse" solve would densely factorize an
+			// essentially unreduced graph.
+			if cur.N() > 4*opt.DirectLimit {
+				return nil, fmt.Errorf("hierarchy: level %d clustering produced no reduction (%d clusters on %d vertices, direct limit %d)",
+					level, d.Count, cur.N(), opt.DirectLimit)
+			}
+			break
 		}
 		l := &Level{
 			G: cur, D: d, smooth: opt.Smooth,

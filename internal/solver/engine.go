@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"hcd/internal/graph"
 )
@@ -13,14 +14,17 @@ import (
 // allocate nothing after the first solve (Metrics.ScratchAllocs == 0).
 //
 // An Engine is NOT safe for concurrent use; the parallelism lives inside the
-// kernels, not across solves. The X, Residuals, Alphas and Betas slices of a
-// returned Result alias the engine's buffers and are only valid until the
-// next call on the same engine; copy them if they must outlive it.
+// kernels, not across solves. Overlapping calls are detected: the second
+// call returns an error wrapping ErrEngineBusy instead of corrupting the
+// shared buffers. The X, Residuals, Alphas and Betas slices of a returned
+// Result alias the engine's buffers and are only valid until the next call
+// on the same engine; copy them if they must outlive it.
 type Engine struct {
-	a   Operator
-	m   Preconditioner
-	opt Options
-	s   scratch
+	a     Operator
+	m     Preconditioner
+	opt   Options
+	inUse atomic.Bool
+	s     scratch
 }
 
 // NewEngine builds a solve session. A nil preconditioner means plain CG.
@@ -48,14 +52,34 @@ func (e *Engine) Dim() int { return e.a.Dim() }
 // Options returns the engine's default solve options.
 func (e *Engine) Options() Options { return e.opt }
 
+// acquire claims the engine's buffers for one solve. The CAS turns the
+// documented "not concurrency-safe" contract into a detected error rather
+// than silent buffer corruption.
+func (e *Engine) acquire() error {
+	if !e.inUse.CompareAndSwap(false, true) {
+		return fmt.Errorf("solver: overlapping solve on one engine: %w", ErrEngineBusy)
+	}
+	return nil
+}
+
+func (e *Engine) release() { e.inUse.Store(false) }
+
 // Solve runs PCG on b with the engine's default options.
 func (e *Engine) Solve(ctx context.Context, b []float64) (Result, error) {
+	if err := e.acquire(); err != nil {
+		return Result{}, err
+	}
+	defer e.release()
 	return pcgCore(ctx, e.a, e.m, b, e.opt, &e.s)
 }
 
 // SolveWith runs PCG on b with per-call options (overriding the engine
 // defaults for this solve only).
 func (e *Engine) SolveWith(ctx context.Context, b []float64, opt Options) (Result, error) {
+	if err := e.acquire(); err != nil {
+		return Result{}, err
+	}
+	defer e.release()
 	return pcgCore(ctx, e.a, e.m, b, opt, &e.s)
 }
 
@@ -63,5 +87,9 @@ func (e *Engine) SolveWith(ctx context.Context, b []float64, opt Options) (Resul
 // [lmin, lmax] for M⁻¹A, with the engine's buffers. opt.MaxIter is the
 // iteration count; opt.Tol > 0 enables early exit.
 func (e *Engine) SolveChebyshev(ctx context.Context, b []float64, lmin, lmax float64, opt Options) (Result, error) {
+	if err := e.acquire(); err != nil {
+		return Result{}, err
+	}
+	defer e.release()
 	return chebyshevCore(ctx, e.a, e.m, b, lmin, lmax, opt, &e.s)
 }

@@ -1,0 +1,305 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hcd/internal/faultinject"
+	"hcd/internal/graph"
+	"hcd/internal/workload"
+)
+
+func testSystem(t *testing.T, seed int64) (*graph.Graph, []float64) {
+	t.Helper()
+	g := workload.Grid2D(12, 12, workload.UniformWeight(0.5, 2), 1)
+	return g, meanFreeRHS(rand.New(rand.NewSource(seed)), g.N())
+}
+
+func TestInjectedMatvecNaNBreaksDown(t *testing.T) {
+	g, b := testSystem(t, 11)
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.MatvecNaN: {OnHit: 3, Count: 1},
+	})
+	defer restore()
+	res, err := PCGCtx(context.Background(), LapOperator(g), nil, b, DefaultOptions())
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if res.Outcome != OutcomeBreakdown {
+		t.Fatalf("outcome %v, want breakdown", res.Outcome)
+	}
+	if res.Reason == "" || !strings.Contains(res.Reason, "non-finite") && !strings.Contains(res.Reason, "pᵀAp") {
+		t.Errorf("reason %q does not explain the breakdown", res.Reason)
+	}
+	if res.Converged {
+		t.Error("breakdown must not report convergence")
+	}
+}
+
+func TestInjectedForceBreakdown(t *testing.T) {
+	g, b := testSystem(t, 12)
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.ForceBreakdown: {OnHit: 2, Count: 1},
+	})
+	defer restore()
+	res, err := PCGCtx(context.Background(), LapOperator(g), nil, b, DefaultOptions())
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if res.Outcome != OutcomeBreakdown {
+		t.Fatalf("outcome %v, want breakdown", res.Outcome)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("breakdown fired on hit 2, so exactly 1 completed iteration; got %d", res.Iterations)
+	}
+}
+
+func TestRecoveryRestartsAfterBreakdown(t *testing.T) {
+	g, b := testSystem(t, 13)
+	// One NaN strikes mid-solve; the restart recomputes r = b − A·x from the
+	// surviving iterate and must then run clean to convergence.
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.MatvecNaN: {OnHit: 5, Count: 1},
+	})
+	defer restore()
+	opt := DefaultOptions()
+	opt.Recovery = RecoveryPolicy{MaxRestarts: 2}
+	res, err := PCGCtx(context.Background(), LapOperator(g), nil, b, opt)
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("restarted solve did not converge: outcome %v reason %q", res.Outcome, res.Reason)
+	}
+	if res.Metrics.Restarts < 1 {
+		t.Errorf("Restarts = %d, want >= 1", res.Metrics.Restarts)
+	}
+	if rn := residualNorm(g, res.X, b); rn > 1e-5 {
+		t.Errorf("residual after recovery %v", rn)
+	}
+	// The stitched history must cover both attempts.
+	if len(res.Residuals) < res.Iterations {
+		t.Errorf("history %d entries for %d iterations", len(res.Residuals), res.Iterations)
+	}
+}
+
+func TestRecoveryGivesUpAfterMaxRestarts(t *testing.T) {
+	g, b := testSystem(t, 14)
+	// Every attempt is poisoned, so all restarts burn out.
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.MatvecNaN: {OnHit: 1, Count: 0},
+	})
+	defer restore()
+	opt := DefaultOptions()
+	opt.Recovery = RecoveryPolicy{MaxRestarts: 2}
+	res, err := PCGCtx(context.Background(), LapOperator(g), nil, b, opt)
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if res.Outcome != OutcomeBreakdown {
+		t.Fatalf("outcome %v, want breakdown", res.Outcome)
+	}
+	if res.Metrics.Restarts != 2 {
+		t.Errorf("Restarts = %d, want 2", res.Metrics.Restarts)
+	}
+}
+
+func TestSolveCancelledOutcome(t *testing.T) {
+	g, b := testSystem(t, 15)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := PCGCtx(ctx, LapOperator(g), nil, b, DefaultOptions())
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if res.Outcome != OutcomeCancelled {
+		t.Fatalf("outcome %v, want cancelled", res.Outcome)
+	}
+}
+
+func TestRestartBackoffHonorsCancellation(t *testing.T) {
+	g, b := testSystem(t, 16)
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.MatvecNaN: {OnHit: 1, Count: 0},
+	})
+	defer restore()
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := DefaultOptions()
+	opt.Recovery = RecoveryPolicy{MaxRestarts: 5, Backoff: time.Hour}
+	done := make(chan Result, 1)
+	go func() {
+		res, err := PCGCtx(ctx, LapOperator(g), nil, b, opt)
+		if err != nil {
+			t.Errorf("PCGCtx: %v", err)
+		}
+		done <- res
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Outcome != OutcomeCancelled {
+			t.Errorf("outcome %v, want cancelled (not an hour of backoff)", res.Outcome)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("solve did not return after cancellation during backoff")
+	}
+}
+
+func TestChebyshevDivergenceGuard(t *testing.T) {
+	g, b := testSystem(t, 17)
+	// Grossly wrong (too small) eigenvalue bounds make Chebyshev diverge
+	// geometrically; the guard must stop it instead of iterating to Inf.
+	opt := Options{MaxIter: 50000, ProjectMean: true}
+	res, err := ChebyshevCtx(context.Background(), LapOperator(g), nil, b, 1e-7, 2e-7, opt)
+	if err != nil {
+		t.Fatalf("ChebyshevCtx: %v", err)
+	}
+	if res.Outcome != OutcomeDiverged && res.Outcome != OutcomeBreakdown {
+		t.Fatalf("outcome %v (reason %q), want diverged or breakdown", res.Outcome, res.Reason)
+	}
+	if res.Iterations >= 50000 {
+		t.Errorf("guard did not stop the divergent iteration early (%d iterations)", res.Iterations)
+	}
+	if res.Reason == "" {
+		t.Error("guard-terminated solve must carry a Reason")
+	}
+}
+
+func TestChebyshevInjectedNaN(t *testing.T) {
+	g, b := testSystem(t, 18)
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.MatvecNaN: {OnHit: 4, Count: 1},
+	})
+	defer restore()
+	opt := Options{MaxIter: 200, Tol: 1e-8, ProjectMean: true}
+	res, err := ChebyshevCtx(context.Background(), LapOperator(g), nil, b, 0.05, 8.5, opt)
+	if err != nil {
+		t.Fatalf("ChebyshevCtx: %v", err)
+	}
+	if res.Outcome != OutcomeBreakdown {
+		t.Fatalf("outcome %v, want breakdown", res.Outcome)
+	}
+}
+
+func TestStagnationGuard(t *testing.T) {
+	g, b := testSystem(t, 19)
+	// A near-impossible tolerance with a tight stagnation demand (100×
+	// residual drop every 3 iterations) must trip the guard, not run the
+	// full budget.
+	opt := DefaultOptions()
+	opt.Tol = 1e-300
+	opt.StagnationWindow = 3
+	opt.StagnationEps = 0.99
+	res, err := PCGCtx(context.Background(), LapOperator(g), nil, b, opt)
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if res.Outcome != OutcomeStagnated {
+		t.Fatalf("outcome %v (reason %q), want stagnated", res.Outcome, res.Reason)
+	}
+	if res.Reason == "" {
+		t.Error("stagnated solve must carry a Reason")
+	}
+}
+
+func TestSolverPanicBecomesError(t *testing.T) {
+	n := 16
+	bad := OpFunc{N: n, F: func(dst, x []float64) { panic("operator exploded") }}
+	b := make([]float64, n)
+	b[0], b[n-1] = 1, -1
+	_, err := PCGCtx(context.Background(), bad, nil, b, Options{Tol: 1e-8, MaxIter: 10})
+	if err == nil {
+		t.Fatal("panicking operator must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panic during solve") || !strings.Contains(err.Error(), "operator exploded") {
+		t.Errorf("error %q does not describe the panic", err)
+	}
+}
+
+func TestPCGDimensionMismatchError(t *testing.T) {
+	g, _ := testSystem(t, 20)
+	_, err := PCGCtx(context.Background(), LapOperator(g), nil, make([]float64, 3), DefaultOptions())
+	if !errors.Is(err, graph.ErrBadDimension) {
+		t.Fatalf("err = %v, want ErrBadDimension", err)
+	}
+}
+
+func TestWarmRestartKeepsReferenceNorm(t *testing.T) {
+	g, b := testSystem(t, 21)
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.ForceBreakdown: {OnHit: 6, Count: 1},
+	})
+	defer restore()
+	opt := DefaultOptions()
+	opt.Recovery = RecoveryPolicy{MaxRestarts: 1}
+	res, err := PCGCtx(context.Background(), LapOperator(g), nil, b, opt)
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("outcome %v reason %q", res.Outcome, res.Reason)
+	}
+	// Convergence is relative to the FIRST attempt's ‖r₀‖: the true
+	// residual must meet the original tolerance, not a restart-relative one.
+	if rn := residualNorm(g, res.X, b); rn > 1e-6*res.Residuals[0]+1e-9 {
+		t.Errorf("restarted solve converged against a weakened threshold: ‖r‖ = %v, ‖r₀‖ = %v", rn, res.Residuals[0])
+	}
+}
+
+func TestNoFaultsNoRestarts(t *testing.T) {
+	g, b := testSystem(t, 22)
+	opt := DefaultOptions()
+	opt.Recovery = RecoveryPolicy{MaxRestarts: 3}
+	res, err := PCGCtx(context.Background(), LapOperator(g), nil, b, opt)
+	if err != nil {
+		t.Fatalf("PCGCtx: %v", err)
+	}
+	if !res.Converged || res.Metrics.Restarts != 0 {
+		t.Errorf("clean solve: converged=%v restarts=%d", res.Converged, res.Metrics.Restarts)
+	}
+	if math.IsNaN(res.Metrics.FinalResidual) {
+		t.Error("final residual is NaN")
+	}
+}
+
+func TestEngineBusyDetected(t *testing.T) {
+	g, b := testSystem(t, 23)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	blocking := OpFunc{N: g.N(), F: func(dst, r []float64) {
+		if !once {
+			once = true
+			close(entered)
+			<-release
+		}
+		copy(dst, r)
+	}}
+	eng, err := NewLapEngine(g, blocking, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Solve(context.Background(), b)
+		done <- err
+	}()
+	<-entered
+	if _, err := eng.Solve(context.Background(), b); !errors.Is(err, ErrEngineBusy) {
+		t.Errorf("overlapping solve: err = %v, want ErrEngineBusy", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	// The engine is free again after the first solve returns.
+	if _, err := eng.Solve(context.Background(), b); err != nil {
+		t.Errorf("post-release solve: %v", err)
+	}
+}

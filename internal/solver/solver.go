@@ -8,6 +8,23 @@
 // parallel Laplacian matvec, thread a context.Context for cancellation, and
 // report per-solve Metrics. The Engine type (engine.go) owns reusable work
 // buffers so repeated solves on one operator allocate nothing.
+//
+// # Numerical guardrails
+//
+// Every iteration is watched by three guards: a non-finite guard (a NaN or
+// Inf residual terminates with OutcomeBreakdown instead of iterating on
+// garbage), a divergence guard (residual exceeding DivergenceTol·‖b‖
+// terminates with OutcomeDiverged, PETSc's dtol idea), and an optional
+// stagnation guard (no relative progress over a sliding window terminates
+// with OutcomeStagnated). A failed solve carries the tripped guard's
+// explanation in Result.Reason. Options.Recovery adds PETSc-style
+// restart-on-breakdown: after a breakdown/divergence/stagnation the solve
+// restarts from its current iterate (discarding the Krylov space, keeping
+// the solution progress) up to MaxRestarts times.
+//
+// Panics raised inside the iteration — including panics recovered from
+// parallel workers by internal/par — are converted to returned errors, so a
+// solve can fail but never crash the process.
 package solver
 
 import (
@@ -18,12 +35,20 @@ import (
 	"time"
 
 	"hcd/internal/dense"
+	"hcd/internal/faultinject"
 	"hcd/internal/graph"
+	"hcd/internal/par"
 )
 
 // ErrNotConverged marks solves that exhausted their iteration budget before
 // reaching the requested tolerance. Callers should test with errors.Is.
 var ErrNotConverged = errors.New("solver: did not converge")
+
+// ErrEngineBusy marks overlapping Solve calls on one Engine, which is
+// documented as not concurrency-safe: the second call returns this error
+// instead of silently corrupting the shared work buffers. Run one Engine
+// per goroutine.
+var ErrEngineBusy = errors.New("solver: engine already in use")
 
 // Operator is a symmetric positive (semi)definite linear operator.
 type Operator interface {
@@ -75,6 +100,24 @@ func Jacobi(g *graph.Graph) Preconditioner {
 	}}
 }
 
+// RecoveryPolicy configures restart-on-breakdown. After a recoverable
+// failure (OutcomeBreakdown, OutcomeDiverged, OutcomeStagnated) the solve
+// restarts from its current iterate: the accumulated solution is kept, the
+// Krylov space is discarded, and the residual is recomputed as b − A·x
+// (a non-finite iterate is reset to zero first). Each restart gets a fresh
+// MaxIter budget, so a fully exhausted solve may run up to
+// (1+MaxRestarts)·MaxIter iterations.
+type RecoveryPolicy struct {
+	// MaxRestarts is the number of restarts attempted after recoverable
+	// failures; 0 (the default) disables recovery entirely.
+	MaxRestarts int
+	// Backoff is the wait before each restart, doubling per restart; the
+	// wait aborts promptly when the context is cancelled. Zero restarts
+	// immediately — the right setting for in-memory operators; nonzero is
+	// for operators backed by flaky external resources.
+	Backoff time.Duration
+}
+
 // Options controls the iteration.
 type Options struct {
 	Tol         float64 // relative residual tolerance (default 1e-8)
@@ -88,6 +131,25 @@ type Options struct {
 	// iteration number (1-based) and the current residual norm. It runs on
 	// the solve goroutine; keep it cheap.
 	Progress func(iter int, residual float64)
+
+	// DivergenceTol is the divergence guard: the solve stops with
+	// OutcomeDiverged when ‖r‖ exceeds DivergenceTol·‖b‖. Zero selects the
+	// default 1e8; a negative value disables the guard. (The non-finite
+	// guard — NaN/Inf residuals terminate with OutcomeBreakdown — is always
+	// on: no useful iteration survives a non-finite residual.)
+	DivergenceTol float64
+	// StagnationWindow enables the stagnation guard: the solve stops with
+	// OutcomeStagnated when the residual fails to improve by a relative
+	// StagnationEps over the last StagnationWindow iterations. Zero (the
+	// default) disables the guard — plain CG legitimately plateaus before
+	// superlinear convergence kicks in, so stagnation detection is opt-in.
+	StagnationWindow int
+	// StagnationEps is the minimum relative improvement the window must
+	// show; default 1e-3 when StagnationWindow > 0.
+	StagnationEps float64
+	// Recovery is the restart-on-breakdown policy; the zero value disables
+	// restarts (historical behavior).
+	Recovery RecoveryPolicy
 }
 
 // DefaultOptions returns the standard Laplacian-solve settings.
@@ -109,8 +171,15 @@ const (
 	OutcomeCancelled
 	// OutcomeBreakdown: a numerical breakdown stopped the recurrence
 	// (non-positive curvature pᵀAp or rᵀz — often an exact solution
-	// reached, or an indefinite/mismatched preconditioner).
+	// reached, or an indefinite/mismatched preconditioner — or a
+	// non-finite residual).
 	OutcomeBreakdown
+	// OutcomeDiverged: the residual grew past the divergence guard
+	// (Options.DivergenceTol).
+	OutcomeDiverged
+	// OutcomeStagnated: the residual made no progress over the stagnation
+	// window (Options.StagnationWindow).
+	OutcomeStagnated
 )
 
 // String names the outcome for logs and metrics output.
@@ -124,9 +193,20 @@ func (o Outcome) String() string {
 		return "cancelled"
 	case OutcomeBreakdown:
 		return "breakdown"
+	case OutcomeDiverged:
+		return "diverged"
+	case OutcomeStagnated:
+		return "stagnated"
 	default:
 		return "unknown"
 	}
+}
+
+// recoverable reports whether a restart can make progress after this
+// outcome: breakdowns, divergence and stagnation restart from the current
+// iterate; exhausted budgets and cancellations do not.
+func recoverable(o Outcome) bool {
+	return o == OutcomeBreakdown || o == OutcomeDiverged || o == OutcomeStagnated
 }
 
 // Metrics instruments one solve: operator/preconditioner work counts, wall
@@ -142,6 +222,8 @@ type Metrics struct {
 	// ScratchAllocs counts work buffers newly allocated for this solve.
 	// It is zero for every solve on a warmed-up Engine.
 	ScratchAllocs int
+	// Restarts counts recovery restarts taken under Options.Recovery.
+	Restarts int
 }
 
 // Result reports a completed solve.
@@ -151,10 +233,14 @@ type Result struct {
 	Iterations int
 	Converged  bool    // Outcome == OutcomeConverged
 	Outcome    Outcome // how the iteration terminated
-	Metrics    Metrics
+	// Reason explains a guard-terminated solve (which guard tripped, at
+	// which iteration, with what values); empty on convergence.
+	Reason  string
+	Metrics Metrics
 	// Alphas and Betas are the PCG coefficients; they define a Lanczos
 	// tridiagonal whose eigenvalues estimate the spectrum of M⁻¹A (see
-	// SpectrumEstimate).
+	// SpectrumEstimate). After a recovery restart they cover the final
+	// attempt only (a restart discards the Krylov space).
 	Alphas, Betas []float64
 }
 
@@ -211,9 +297,82 @@ func PCGCtx(ctx context.Context, a Operator, m Preconditioner, b []float64, opt 
 	return pcgCore(ctx, a, m, b, opt, &s)
 }
 
-// pcgCore is the single PCG implementation behind PCG, PCGCtx, CG and
-// Engine.Solve. Result slices alias the scratch buffers.
-func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt Options, s *scratch) (Result, error) {
+// pcgCore is the single PCG driver behind PCG, PCGCtx, CG and Engine.Solve:
+// one pcgIter attempt plus the Options.Recovery restart loop. Result slices
+// alias the scratch buffers (except the stitched residual history of a
+// restarted solve, which is freshly allocated). A panic during the solve —
+// including worker panics surfaced by internal/par — is returned as an
+// error carrying the panicking goroutine's stack.
+func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt Options, s *scratch) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("solver: panic during solve: %w", par.AsError(v))
+		}
+	}()
+	res, err = pcgIter(ctx, a, m, b, opt, s, 0)
+	if err != nil || opt.Recovery.MaxRestarts <= 0 || !recoverable(res.Outcome) {
+		return res, err
+	}
+	// Restart loop: the rare path, so stitching the residual history and
+	// totals may allocate.
+	refNorm := 0.0
+	if len(res.Residuals) > 0 {
+		refNorm = res.Residuals[0]
+	}
+	history := append([]float64(nil), res.Residuals...)
+	total := res.Metrics
+	backoff := opt.Recovery.Backoff
+	for restart := 1; restart <= opt.Recovery.MaxRestarts; restart++ {
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				res.Outcome = OutcomeCancelled
+				res.Converged = false
+				res.Reason = "cancelled during restart backoff after: " + res.Reason
+			case <-t.C:
+			}
+			if res.Outcome == OutcomeCancelled {
+				break
+			}
+			backoff *= 2
+		}
+		attempt, aerr := pcgIter(ctx, a, m, b, opt, s, refNorm)
+		if aerr != nil {
+			return res, aerr
+		}
+		// Drop the restart's ‖r₀‖ sample: it re-measures the same iterate
+		// the previous attempt already recorded.
+		if len(attempt.Residuals) > 1 {
+			history = append(history, attempt.Residuals[1:]...)
+		}
+		total.MatVecs += attempt.Metrics.MatVecs
+		total.PrecondApplies += attempt.Metrics.PrecondApplies
+		total.Iterations += attempt.Metrics.Iterations
+		total.ScratchAllocs += attempt.Metrics.ScratchAllocs
+		total.SetupTime += attempt.Metrics.SetupTime
+		total.IterTime += attempt.Metrics.IterTime
+		total.TotalTime += attempt.Metrics.TotalTime
+		total.Restarts = restart
+		total.FinalResidual = attempt.Metrics.FinalResidual
+		res = attempt
+		res.Metrics = total
+		res.Residuals = history
+		res.Iterations = total.Iterations
+		if !recoverable(res.Outcome) {
+			break
+		}
+	}
+	return res, nil
+}
+
+// pcgIter runs one PCG attempt. refNorm > 0 marks a recovery restart: the
+// iterate in s.x is kept (reset to zero only if non-finite), the residual is
+// recomputed as b − A·x, and convergence/divergence stay relative to
+// refNorm — the first attempt's ‖r₀‖ — so a restart cannot weaken the
+// termination criteria.
+func pcgIter(ctx context.Context, a Operator, m Preconditioner, b []float64, opt Options, s *scratch, refNorm float64) (Result, error) {
 	start := time.Now()
 	n := a.Dim()
 	if len(b) != n {
@@ -237,11 +396,30 @@ func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 	if opt.CheckEvery <= 0 {
 		opt.CheckEvery = 8
 	}
+	divTol := opt.DivergenceTol
+	if divTol == 0 {
+		divTol = 1e8
+	}
+	stagEps := opt.StagnationEps
+	if stagEps <= 0 {
+		stagEps = 1e-3
+	}
 	startAllocs := s.allocs
 	x := s.vec(&s.x, n)
-	zero(x)
 	r := s.vec(&s.r, n)
-	copy(r, b)
+	warm := refNorm > 0
+	if warm && !finite(x) {
+		warm = false // a non-finite iterate restarts from scratch
+	}
+	if warm {
+		a.Apply(r, x) // r = b − A·x: resume from the accumulated solution
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+	} else {
+		zero(x)
+		copy(r, b)
+	}
 	rawNorm := norm2(r)
 	if opt.ProjectMean {
 		projectMean(r)
@@ -250,14 +428,20 @@ func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 	p := s.vec(&s.p, n)
 	ap := s.vec(&s.ap, n)
 	res := Result{X: x}
+	if warm {
+		res.Metrics.MatVecs++
+	}
 	res.Residuals = s.resid[:0]
 	res.Alphas = s.alphas[:0]
 	res.Betas = s.betas[:0]
 	normB := norm2(r)
 	res.Residuals = append(res.Residuals, normB)
+	if refNorm <= 0 {
+		refNorm = normB
+	}
 	// A right-hand side that is (numerically) all null-space component has
 	// nothing left to solve after projection.
-	if normB == 0 || normB <= 1e-13*rawNorm {
+	if normB == 0 || normB <= 1e-13*rawNorm || normB <= opt.Tol*refNorm {
 		res.Outcome = OutcomeConverged
 		finishSolve(&res, s, start, time.Time{}, startAllocs)
 		return res, nil
@@ -278,10 +462,17 @@ func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 		}
 		a.Apply(ap, p)
 		res.Metrics.MatVecs++
+		if faultinject.Enabled() && faultinject.Fire(faultinject.MatvecNaN) {
+			ap[0] = math.NaN()
+		}
 		pap := dot(p, ap)
+		if faultinject.Enabled() && faultinject.Fire(faultinject.ForceBreakdown) {
+			pap = -1
+		}
 		if pap <= 0 || math.IsNaN(pap) {
 			// Numerical breakdown (or exact solution already reached).
 			res.Outcome = OutcomeBreakdown
+			res.Reason = fmt.Sprintf("non-positive curvature pᵀAp = %g at iteration %d", pap, iter+1)
 			break
 		}
 		alpha := rz / pap
@@ -297,9 +488,32 @@ func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 		if opt.Progress != nil {
 			opt.Progress(res.Iterations, rn)
 		}
-		if rn <= opt.Tol*normB {
+		// Guards, in severity order. The non-finite check comes first: NaN
+		// compares false against every threshold, so the convergence and
+		// divergence tests would both silently pass over it.
+		if math.IsNaN(rn) || math.IsInf(rn, 0) {
+			res.Outcome = OutcomeBreakdown
+			res.Reason = fmt.Sprintf("non-finite residual ‖r‖ = %g at iteration %d", rn, res.Iterations)
+			break
+		}
+		if rn <= opt.Tol*refNorm {
 			res.Outcome = OutcomeConverged
 			break
+		}
+		if divTol > 0 && rn > divTol*refNorm {
+			res.Outcome = OutcomeDiverged
+			res.Reason = fmt.Sprintf("residual ‖r‖ = %g exceeded %g·‖r₀‖ = %g at iteration %d",
+				rn, divTol, divTol*refNorm, res.Iterations)
+			break
+		}
+		if w := opt.StagnationWindow; w > 0 && res.Iterations >= w {
+			ref := res.Residuals[len(res.Residuals)-1-w]
+			if rn >= (1-stagEps)*ref {
+				res.Outcome = OutcomeStagnated
+				res.Reason = fmt.Sprintf("residual improved < %g relative over the last %d iterations (‖r‖ %g → %g)",
+					stagEps, w, ref, rn)
+				break
+			}
 		}
 		m.Apply(z, r)
 		res.Metrics.PrecondApplies++
@@ -309,6 +523,7 @@ func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 		rzNew := dot(r, z)
 		if rzNew <= 0 || math.IsNaN(rzNew) {
 			res.Outcome = OutcomeBreakdown
+			res.Reason = fmt.Sprintf("non-positive rᵀz = %g at iteration %d", rzNew, res.Iterations)
 			break
 		}
 		beta := rzNew / rz
@@ -318,6 +533,17 @@ func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 	}
 	finishSolve(&res, s, start, iterStart, startAllocs)
 	return res, nil
+}
+
+// finite reports whether every entry of x is finite. Only runs on the rare
+// restart path, so a serial scan is fine.
+func finite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // finishSolve stamps the metrics common to every exit path and hands the
@@ -361,13 +587,21 @@ func Chebyshev(a Operator, m Preconditioner, b []float64, lmin, lmax float64, it
 // once ‖r‖ ≤ Tol·‖r₀‖ (the per-iteration residual norm is instrumentation —
 // the recurrence itself stays inner-product-free). Outcome is
 // OutcomeConverged when the final residual meets Tol, OutcomeMaxIter when the
-// budget ran out first, OutcomeCancelled on context cancellation.
+// budget ran out first, OutcomeCancelled on context cancellation,
+// OutcomeBreakdown on a non-finite residual, OutcomeDiverged past the
+// divergence guard (wrong eigenvalue bounds make Chebyshev diverge
+// geometrically, so the guard matters here even more than for PCG).
 func ChebyshevCtx(ctx context.Context, a Operator, m Preconditioner, b []float64, lmin, lmax float64, opt Options) (Result, error) {
 	var s scratch
 	return chebyshevCore(ctx, a, m, b, lmin, lmax, opt, &s)
 }
 
-func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float64, lmin, lmax float64, opt Options, s *scratch) (Result, error) {
+func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float64, lmin, lmax float64, opt Options, s *scratch) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("solver: panic during solve: %w", par.AsError(v))
+		}
+	}()
 	start := time.Now()
 	if !(lmin > 0) || !(lmax >= lmin) {
 		return Result{}, fmt.Errorf("solver: invalid eigenvalue bounds [%v, %v]", lmin, lmax)
@@ -388,6 +622,10 @@ func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float6
 	if opt.CheckEvery <= 0 {
 		opt.CheckEvery = 8
 	}
+	divTol := opt.DivergenceTol
+	if divTol == 0 {
+		divTol = 1e8
+	}
 	startAllocs := s.allocs
 	x := s.vec(&s.x, n)
 	zero(x)
@@ -402,7 +640,7 @@ func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float6
 	theta := (lmax + lmin) / 2
 	delta := (lmax - lmin) / 2
 	var alpha, beta float64
-	res := Result{X: x}
+	res = Result{X: x}
 	res.Residuals = append(s.resid[:0], norm2(r))
 	res.Alphas, res.Betas = s.alphas[:0], s.betas[:0]
 	normB := res.Residuals[0]
@@ -434,6 +672,9 @@ func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float6
 		axpy(x, alpha, p)
 		a.Apply(ax, x)
 		res.Metrics.MatVecs++
+		if faultinject.Enabled() && faultinject.Fire(faultinject.MatvecNaN) {
+			ax[0] = math.NaN()
+		}
 		sub(r, b, ax)
 		if opt.ProjectMean {
 			projectMean(r)
@@ -444,8 +685,19 @@ func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float6
 		if opt.Progress != nil {
 			opt.Progress(res.Iterations, rn)
 		}
+		if math.IsNaN(rn) || math.IsInf(rn, 0) {
+			res.Outcome = OutcomeBreakdown
+			res.Reason = fmt.Sprintf("non-finite residual ‖r‖ = %g at iteration %d", rn, res.Iterations)
+			break
+		}
 		if opt.Tol > 0 && rn <= opt.Tol*normB {
 			res.Outcome = OutcomeConverged
+			break
+		}
+		if divTol > 0 && rn > divTol*normB {
+			res.Outcome = OutcomeDiverged
+			res.Reason = fmt.Sprintf("residual ‖r‖ = %g exceeded %g·‖r₀‖ = %g at iteration %d",
+				rn, divTol, divTol*normB, res.Iterations)
 			break
 		}
 	}

@@ -138,7 +138,10 @@ func TestCheegerBoundsBracketExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exact := g.ExactConductance()
+		exact, err := g.ExactConductance()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if exact < lo-1e-8 || exact > hi+1e-8 {
 			t.Fatalf("it=%d: exact %v outside Cheeger bracket [%v, %v]", it, exact, lo, hi)
 		}

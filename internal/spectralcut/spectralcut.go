@@ -129,7 +129,12 @@ func DecomposeCtx(ctx context.Context, g *graph.Graph, opt Options) (*decomp.Dec
 // Cheeger λ₂/2 above it.
 func certify(sub *graph.Graph, target float64, st *Stats, seed int64) (bool, bool) {
 	if sub.N() <= graph.MaxExactConductance {
-		return sub.ExactConductance() >= target, true
+		phi, err := sub.ExactConductance()
+		if err != nil {
+			// Unreachable: the size limit was just checked.
+			panic(err)
+		}
+		return phi >= target, true
 	}
 	lo, _, err := spectral.CheegerBounds(sub, seed)
 	st.EigenCalls++

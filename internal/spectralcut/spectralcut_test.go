@@ -35,7 +35,11 @@ func TestDecomposeGrid(t *testing.T) {
 			t.Fatal(err)
 		}
 		if sub.N() <= graph.MaxExactConductance && sub.Connected() {
-			if phi := sub.ExactConductance(); phi < opt.TargetPhi {
+			phi, perr := sub.ExactConductance()
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			if phi < opt.TargetPhi {
 				t.Fatalf("cluster of %d vertices has conductance %v < target", len(set), phi)
 			}
 		}

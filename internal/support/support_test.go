@@ -288,7 +288,10 @@ func TestLemma34StarComplementSupport(t *testing.T) {
 	for it := 0; it < 12; it++ {
 		n := 5 + rng.Intn(8)
 		g := randomConnected(rng, n, n)
-		phi := g.ExactConductance()
+		phi, err := g.ExactConductance()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if phi <= 0 {
 			continue
 		}

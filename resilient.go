@@ -1,0 +1,246 @@
+package hcd
+
+// The fault-tolerant solve path: SolveResilient walks a ladder of
+// solver/preconditioner configurations, from the best-performing to the most
+// robust, until one converges. Each rung's attempt — outcome, iteration
+// count, restarts, why it fell through — is recorded in a ResilienceReport,
+// so a recovered solve documents exactly what failed and what saved it.
+//
+// The ladder, in order:
+//
+//	[1] hierarchy-pcg          PCG with the multilevel Steiner preconditioner
+//	                           (the paper's construction; fastest when healthy)
+//	[2] reseeded-hierarchy-pcg the same, with the hierarchy rebuilt from
+//	                           re-seeded randomized clusterings — recovers
+//	                           from an unluckily or corruptly built hierarchy
+//	[3] cg                     unpreconditioned conjugate gradients — removes
+//	                           the preconditioner from the fault surface
+//	[4] chebyshev              Jacobi-preconditioned Chebyshev iteration with
+//	                           conservative spectrum bounds — needs no inner
+//	                           products and no curvature, the last resort
+//
+// Every rung runs under the caller's RecoveryPolicy, so transient breakdowns
+// restart in place before the ladder moves on. Build failures (a hierarchy
+// that cannot be constructed) are recorded as attempts and fall through like
+// solve failures. Context cancellation stops the ladder immediately.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hcd/internal/hierarchy"
+	"hcd/internal/solver"
+)
+
+// Ladder rung names, as they appear in SolveAttempt.Rung.
+const (
+	RungHierarchyPCG = "hierarchy-pcg"
+	RungReseededPCG  = "reseeded-hierarchy-pcg"
+	RungCG           = "cg"
+	RungChebyshev    = "chebyshev"
+)
+
+// ResilienceOptions configures SolveResilient.
+type ResilienceOptions struct {
+	// Solve is the per-rung iteration configuration (tolerance, budget,
+	// guardrails). Its Recovery policy applies within each rung.
+	Solve SolveOptions
+	// Hierarchy configures the rung-1 preconditioner build; rung 2 rebuilds
+	// with the same options under perturbed seeds.
+	Hierarchy HierarchyOptions
+	// ReseedTries is the number of rung-2 rebuild attempts (default 2,
+	// negative disables the rung).
+	ReseedTries int
+	// ChebyshevIters is the rung-4 iteration budget (default 4·MaxIter of
+	// the PCG rungs — Chebyshev with conservative bounds converges slower).
+	ChebyshevIters int
+}
+
+// DefaultResilienceOptions returns the standard ladder configuration: default
+// solve tolerance and hierarchy, one in-rung restart, two reseed tries.
+func DefaultResilienceOptions() ResilienceOptions {
+	opt := ResilienceOptions{
+		Solve:       DefaultSolveOptions(),
+		Hierarchy:   DefaultHierarchyOptions(),
+		ReseedTries: 2,
+	}
+	opt.Solve.Recovery = RecoveryPolicy{MaxRestarts: 1}
+	return opt
+}
+
+// SolveAttempt records one rung of a resilient solve.
+type SolveAttempt struct {
+	Rung          string
+	Outcome       SolveOutcome
+	Iterations    int
+	Restarts      int
+	FinalResidual float64
+	Duration      time.Duration
+	// Err holds the failure description: a build or solve error, or the
+	// solver's Reason for a guard-terminated attempt. Empty on success.
+	Err string
+}
+
+// ResilienceReport is the attempt trail of one SolveResilient call.
+type ResilienceReport struct {
+	Attempts []SolveAttempt
+	// Recovered is true when the solve converged on any rung after the
+	// first attempt failed.
+	Recovered bool
+	// Rung names the ladder rung that produced the returned solution
+	// (empty if no rung converged).
+	Rung string
+}
+
+// String renders the attempt trail on one line per rung.
+func (r ResilienceReport) String() string {
+	s := ""
+	for i, a := range r.Attempts {
+		if i > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("%s: %v", a.Rung, a.Outcome)
+		if a.Err != "" {
+			s += " (" + a.Err + ")"
+		}
+	}
+	return s
+}
+
+// SolveResilient solves the Laplacian system A·x = b with fallback: it walks
+// the rung ladder documented above until a rung converges, recording every
+// attempt. On success it returns the converged result, the report, and a nil
+// error. When every rung fails it returns the last attempt's result and an
+// error wrapping ErrNotConverged; when the context is cancelled it returns
+// an error wrapping the context's error. The report is meaningful in every
+// case.
+func SolveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOptions) (SolveResult, ResilienceReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Solve.Tol <= 0 {
+		opt.Solve = DefaultSolveOptions()
+	}
+	if opt.Hierarchy.SizeCap < 2 {
+		opt.Hierarchy = DefaultHierarchyOptions()
+	}
+	if opt.ReseedTries == 0 {
+		opt.ReseedTries = 2
+	}
+	var (
+		report ResilienceReport
+		last   SolveResult
+		a      = solver.LapOperator(g)
+	)
+	record := func(rung string, res SolveResult, err error, dur time.Duration) bool {
+		at := SolveAttempt{
+			Rung:          rung,
+			Outcome:       res.Outcome,
+			Iterations:    res.Iterations,
+			Restarts:      res.Metrics.Restarts,
+			FinalResidual: res.Metrics.FinalResidual,
+			Duration:      dur,
+		}
+		switch {
+		case err != nil:
+			at.Err = err.Error()
+		case res.Reason != "":
+			at.Err = res.Reason
+		case res.Outcome != OutcomeConverged:
+			at.Err = res.Outcome.String()
+		}
+		report.Attempts = append(report.Attempts, at)
+		last = res
+		if err == nil && res.Converged {
+			report.Rung = rung
+			report.Recovered = len(report.Attempts) > 1
+			return true
+		}
+		return false
+	}
+	tryPCG := func(rung string, m Preconditioner) (bool, error) {
+		start := time.Now()
+		res, err := solver.PCGCtx(ctx, a, m, b, opt.Solve)
+		done := record(rung, res, err, time.Since(start))
+		if done {
+			return true, nil
+		}
+		if ctx.Err() != nil {
+			return false, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", rung, ctx.Err())
+		}
+		return false, nil
+	}
+
+	// [1] Hierarchy-preconditioned PCG.
+	start := time.Now()
+	h, err := hierarchy.NewCtx(ctx, g, opt.Hierarchy)
+	if err != nil {
+		record(RungHierarchyPCG, SolveResult{}, fmt.Errorf("hierarchy build: %w", err), time.Since(start))
+		if ctx.Err() != nil {
+			return last, report, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", RungHierarchyPCG, ctx.Err())
+		}
+	} else if done, cerr := tryPCG(RungHierarchyPCG, h); done || cerr != nil {
+		return last, report, cerr
+	}
+
+	// [2] Rebuilt hierarchies under fresh randomized seeds: a bad draw of
+	// the perturbed clustering (or a corrupted build) is re-rolled.
+	for try := 0; try < opt.ReseedTries; try++ {
+		hopt := opt.Hierarchy
+		// A large odd prime offset keeps reseeded streams disjoint from
+		// every level's Seed+level sequence.
+		hopt.Seed = opt.Hierarchy.Seed + int64(try+1)*1000003
+		start := time.Now()
+		h, err := hierarchy.NewCtx(ctx, g, hopt)
+		if err != nil {
+			record(RungReseededPCG, SolveResult{}, fmt.Errorf("hierarchy rebuild (seed %d): %w", hopt.Seed, err), time.Since(start))
+			if ctx.Err() != nil {
+				return last, report, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", RungReseededPCG, ctx.Err())
+			}
+			continue
+		}
+		if done, cerr := tryPCG(RungReseededPCG, h); done || cerr != nil {
+			return last, report, cerr
+		}
+	}
+
+	// [3] Unpreconditioned CG.
+	if done, cerr := tryPCG(RungCG, nil); done || cerr != nil {
+		return last, report, cerr
+	}
+
+	// [4] Jacobi-Chebyshev with conservative bounds. For D⁻¹L the spectrum
+	// lies in (0, 2]; probing λmin via a short PCG probe tightens the lower
+	// bound, and a failed probe falls back to a fixed wide bracket.
+	cheb := opt.Solve
+	cheb.MaxIter = opt.ChebyshevIters
+	if cheb.MaxIter <= 0 {
+		base := opt.Solve.MaxIter
+		if base <= 0 {
+			base = 10*g.N() + 50
+		}
+		cheb.MaxIter = 4 * base
+	}
+	jac := JacobiPreconditioner(g)
+	lmin, lmax := 1e-4, 2.0
+	probe, perr := solver.PCGCtx(ctx, a, jac, b, solver.Options{Tol: 1e-12, MaxIter: 40, ProjectMean: opt.Solve.ProjectMean})
+	if perr == nil && len(probe.Alphas) > 0 {
+		if lo, hi, serr := solver.SpectrumEstimate(probe.Alphas, probe.Betas); serr == nil && lo > 0 {
+			lmin, lmax = 0.5*lo, 1.25*hi
+		}
+	}
+	if ctx.Err() != nil {
+		return last, report, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", RungChebyshev, ctx.Err())
+	}
+	start = time.Now()
+	res, err := solver.ChebyshevCtx(ctx, a, jac, b, lmin, lmax, cheb)
+	if record(RungChebyshev, res, err, time.Since(start)) {
+		return last, report, nil
+	}
+	if ctx.Err() != nil {
+		return last, report, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", RungChebyshev, ctx.Err())
+	}
+	return last, report, fmt.Errorf("hcd: all %d resilient-solve attempts failed (%s): %w",
+		len(report.Attempts), report.String(), ErrNotConverged)
+}

@@ -29,6 +29,14 @@ var (
 	// ErrNotConverged: an iterative solve exhausted its budget before
 	// reaching tolerance.
 	ErrNotConverged = solver.ErrNotConverged
+	// ErrEngineBusy: two solves overlapped on one Engine, which is not
+	// concurrency-safe; the second call fails instead of corrupting the
+	// shared work buffers.
+	ErrEngineBusy = solver.ErrEngineBusy
+	// ErrInvalidInput: a caller-reachable precondition was violated
+	// (out-of-range or duplicate vertices, a graph too large for exact
+	// conductance enumeration, malformed input files).
+	ErrInvalidInput = graph.ErrInvalidInput
 )
 
 // SolveOutcome classifies how a solve terminated: converged, iteration
@@ -41,7 +49,16 @@ const (
 	OutcomeMaxIter   = solver.OutcomeMaxIter
 	OutcomeCancelled = solver.OutcomeCancelled
 	OutcomeBreakdown = solver.OutcomeBreakdown
+	OutcomeDiverged  = solver.OutcomeDiverged
+	OutcomeStagnated = solver.OutcomeStagnated
 )
+
+// RecoveryPolicy configures restart-on-breakdown for a solve: after a
+// recoverable failure (breakdown, divergence, stagnation) the iteration
+// restarts from its current iterate up to MaxRestarts times, waiting
+// Backoff (doubling per restart) in between. The zero value disables
+// restarts. Set it via SolveOptions.Recovery.
+type RecoveryPolicy = solver.RecoveryPolicy
 
 // SolveMetrics instruments one solve: matvec and preconditioner-apply
 // counts, iteration count, wall time per phase, scratch allocations, and the
