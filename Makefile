@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-decomp vet fmt check race race-solver selfcheck chaos fuzz experiments fig6 coverage
+.PHONY: all build test bench bench-decomp bench-json vet fmt check race race-solver selfcheck chaos fuzz experiments fig6 coverage
 
 all: build test
 
@@ -48,10 +48,19 @@ chaos:
 	$(GO) run ./cmd/hcd-selfcheck -chaos
 
 # fuzz: short fuzzing passes over the graph input parsers with a
-# write/reparse round-trip oracle (go fuzzing runs one target at a time).
+# write/reparse round-trip oracle, and over the stub-aware exact conductance
+# certifier with the brute-force cut enumeration as a differential oracle
+# (go fuzzing runs one target at a time).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime=10s ./internal/gio
 	$(GO) test -run '^$$' -fuzz FuzzReadMatrixMarket -fuzztime=10s ./internal/gio
+	$(GO) test -run '^$$' -fuzz FuzzExactConductance -fuzztime=10s ./internal/graph
+
+# bench-json: run the evaluate benchmark and write the machine-readable
+# record (ns/op, B/op, allocs/op, host core count) behind BENCH.md.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate$$' -benchmem . \
+		| $(GO) run ./cmd/hcd-benchjson -out BENCH_evaluate.json
 
 experiments:
 	$(GO) run ./cmd/hcd-experiments

@@ -171,6 +171,7 @@ func DecomposeCtx(ctx context.Context, g *Graph, opt DecomposeOptions) (*Decompo
 				return decomp.StageInfo{Vertices: g.N(), Edges: g.M()}, rerr
 			}
 			res.Report = rep
+			p.Metrics.Cert = rep.Cert
 			return decomp.StageInfo{Vertices: g.N(), Edges: g.M()}, nil
 		})
 	}

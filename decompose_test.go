@@ -168,6 +168,12 @@ func TestDecomposeCtxBuildMetrics(t *testing.T) {
 		if m.TotalTime <= 0 {
 			t.Errorf("%v: non-positive total time %v", tc.method, m.TotalTime)
 		}
+		if m.Cert != res.Report.Cert {
+			t.Errorf("%v: metrics cert %+v != report cert %+v", tc.method, m.Cert, res.Report.Cert)
+		}
+		if m.Cert.Cores == 0 && m.Cert.Bounds == 0 {
+			t.Errorf("%v: evaluate stage certified nothing: %+v", tc.method, m.Cert)
+		}
 		if res.D == nil || res.D.Count == 0 {
 			t.Errorf("%v: empty decomposition", tc.method)
 		}

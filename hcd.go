@@ -57,9 +57,18 @@ type Decomposition = decomp.Decomposition
 // Report summarizes decomposition quality (φ, ρ, γ, sizes).
 type Report = decomp.Report
 
-// MaxExactConductance is the largest closure for which Evaluate certifies
-// conductance exactly.
+// MaxExactConductance is the largest cluster core (vertex count, stubs
+// excluded) for which Evaluate certifies closure conductance exactly. The
+// stub-aware certifier collapses boundary stubs into anchor volumes in
+// closed form, so the limit applies to the cluster size — a 4-vertex cluster
+// is certified in 2³ enumeration steps no matter how many boundary edges
+// its closure has.
 const MaxExactConductance = graph.MaxExactConductance
+
+// CertStats counts exact-certification work (cores enumerated, stubs
+// collapsed, core side-assignments visited, sweep-bound fallbacks); it is
+// reported in Report.Cert and BuildMetrics.Cert.
+type CertStats = graph.CertStats
 
 // DecomposeTree computes the Theorem 2.1 decomposition of a tree or forest:
 // ρ ≥ 6/5 and every closure conductance ≥ 1/3 (measured ≥ 1/2 on typical
@@ -201,8 +210,9 @@ func DecomposeMinorFree(g *Graph, seed int64) (*PlanarResult, error) {
 }
 
 // Evaluate measures a decomposition: minimum closure conductance φ (exact
-// for closures up to MaxExactConductance vertices), reduction factor ρ,
-// per-vertex retention γ, and size statistics.
+// for clusters of up to MaxExactConductance core vertices, however many
+// stubs their closures carry), reduction factor ρ, per-vertex retention γ,
+// size statistics, and certification work counters.
 func Evaluate(d *Decomposition) Report {
 	return decomp.Evaluate(d, graph.MaxExactConductance)
 }

@@ -18,33 +18,40 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"hcd/internal/graph"
 	"hcd/internal/par"
 )
 
-// mustClosure builds the closure of a cluster whose membership is unique and
-// in-range by construction (it came out of this package's own partition
-// bookkeeping). An error here is an internal invariant violation, so it
-// panics — caller-supplied clusters go through graph.Closure's error return.
-func mustClosure(g *graph.Graph, vs []int) *graph.Graph {
-	clo, _, err := g.Closure(vs)
-	if err != nil {
-		panic(err)
-	}
-	return clo
-}
+// CertStats re-exports the certification work counters of the stub-aware
+// exact conductance certifier (cores enumerated, stubs collapsed, core
+// side-assignments visited, sweep-bound fallbacks).
+type CertStats = graph.CertStats
 
-// mustExactConductance is ExactConductance for closures the caller has
-// already checked against graph.MaxExactConductance; the error is
-// unreachable and treated as an invariant violation.
-func mustExactConductance(g *graph.Graph) float64 {
-	phi, err := g.ExactConductance()
+// mustClusterPhi certifies the exact closure conductance of a cluster whose
+// membership is unique, in-range, and under the core enumeration limit by
+// construction (it came out of this package's own partition bookkeeping). An
+// error here is an internal invariant violation, so it panics —
+// caller-supplied clusters go through the certifier's error return.
+func mustClusterPhi(c *graph.Certifier, vs []int) float64 {
+	phi, err := c.ClusterPhi(vs)
 	if err != nil {
 		panic(err)
 	}
 	return phi
+}
+
+// mustBuilderClosure is ClosureBuilder.Closure for clusters valid by
+// construction; the returned graph aliases the builder (valid until its next
+// call).
+func mustBuilderClosure(b *graph.ClosureBuilder, vs []int) *graph.Graph {
+	clo, _, err := b.Closure(vs)
+	if err != nil {
+		panic(err)
+	}
+	return clo
 }
 
 // Decomposition is a partition of the vertices of G into Count clusters.
@@ -90,8 +97,11 @@ func (d *Decomposition) Validate() error {
 			return fmt.Errorf("decomp: cluster %d is empty", c)
 		}
 	}
-	for c, vs := range d.Clusters() {
-		sub, _, err := d.G.InducedSubgraph(vs)
+	b := graph.NewClosureBuilder(d.G)
+	order, start := d.clusterSpans()
+	for c := 0; c < d.Count; c++ {
+		vs := order[start[c]:start[c+1]]
+		sub, _, err := b.InducedSubgraph(vs)
 		if err != nil {
 			return fmt.Errorf("decomp: cluster %d induced subgraph: %w", c, err)
 		}
@@ -115,6 +125,10 @@ type Report struct {
 	// edge weight — the γ_avg of Kannan–Vempala–Vetta (φ, γ_avg)
 	// decompositions; small is good.
 	CutFraction float64
+	// Cert counts the certification work: cores enumerated, stubs collapsed
+	// into anchor volumes, core side-assignments visited, and sweep-bound
+	// fallbacks. Deterministic — parallel and serial evaluation agree.
+	Cert CertStats
 }
 
 // clusterSpans returns the vertices of every cluster as slices of one shared
@@ -141,15 +155,26 @@ func (d *Decomposition) clusterSpans() (order, start []int) {
 // fan-out; at or below it the whole evaluation runs in one sequential call.
 const evalGrain = 16
 
+// evalWorker bundles the per-goroutine scratch of the evaluation fan-out: a
+// stub-aware certifier for the common (core ≤ limit) case and a lazily
+// created closure builder for the sweep-bound fallback on oversized clusters.
+type evalWorker struct {
+	cert *graph.Certifier
+	cb   *graph.ClosureBuilder
+}
+
 // Evaluate measures a decomposition. Closure conductances are computed
-// exactly for closures of at most exactLimit vertices (pass
-// graph.MaxExactConductance for the largest exact setting); larger closures
-// contribute a sweep-cut upper bound and clear the PhiExact flag.
+// exactly for clusters of at most exactLimit core vertices (pass
+// graph.MaxExactConductance for the largest exact setting) by the stub-aware
+// certifier — boundary stubs are collapsed into anchor volumes in closed
+// form, so the limit applies to the cluster size, not the closure size;
+// larger clusters contribute a sweep-cut upper bound on the materialized
+// closure and clear the PhiExact flag.
 //
-// Per-cluster measurements (the dominant cost: one closure build and
-// conductance computation per cluster) fan out across cores; the reductions
-// over clusters happen serially in cluster order, so the result is
-// bit-identical to EvaluateSerial.
+// Per-cluster measurements (the dominant cost: one core enumeration or
+// closure build per cluster) fan out across cores; the reductions over
+// clusters happen serially in cluster order, so the result is bit-identical
+// to EvaluateSerial.
 func Evaluate(d *Decomposition, exactLimit int) Report {
 	r, _ := evaluate(context.Background(), d, exactLimit, true)
 	return r
@@ -194,11 +219,31 @@ func evaluate(ctx context.Context, d *Decomposition, exactLimit int, parallel bo
 	phi := make([]float64, d.Count)
 	exact := make([]bool, d.Count)
 	gamma := make([]float64, d.Count)
+	// Each chunk of the fan-out borrows a worker holding a reusable
+	// certifier (the common, core ≤ limit case — no closure materialized)
+	// and a lazily created closure builder (the sweep-bound fallback).
+	pool := sync.Pool{New: func() any {
+		return &evalWorker{cert: graph.NewCertifier(d.G)}
+	}}
+	// Certification counters aggregate per-chunk deltas with integer atomic
+	// adds — exact and commutative, so the totals are deterministic.
+	var cCores, cStubs, cSubsets, cBounds atomic.Int64
 	// stopped lets every chunk of the fan-out abandon its remaining
 	// clusters as soon as one of them observes cancellation; the incomplete
 	// arrays are discarded, so the early exit cannot skew a returned report.
 	var stopped atomic.Bool
 	measure := func(lo, hi int) {
+		w := pool.Get().(*evalWorker)
+		before := w.cert.Stats
+		bounds := int64(0)
+		defer func() {
+			delta := w.cert.Stats
+			cCores.Add(delta.Cores - before.Cores)
+			cStubs.Add(delta.Stubs - before.Stubs)
+			cSubsets.Add(delta.Subsets - before.Subsets)
+			cBounds.Add(bounds)
+			pool.Put(w)
+		}()
 		for c := lo; c < hi; c++ {
 			if stopped.Load() {
 				return
@@ -208,12 +253,15 @@ func evaluate(ctx context.Context, d *Decomposition, exactLimit int, parallel bo
 				return
 			}
 			vs := order[start[c]:start[c+1]]
-			clo := mustClosure(d.G, vs)
-			if clo.N() <= exactLimit && clo.N() <= graph.MaxExactConductance {
-				phi[c] = mustExactConductance(clo)
+			if len(vs) <= exactLimit && len(vs) <= graph.MaxExactConductance {
+				phi[c] = mustClusterPhi(w.cert, vs)
 				exact[c] = true
 			} else {
-				phi[c] = clo.ConductanceUpperBound()
+				if w.cb == nil {
+					w.cb = graph.NewClosureBuilder(d.G)
+				}
+				phi[c] = mustBuilderClosure(w.cb, vs).ConductanceUpperBound()
+				bounds++
 			}
 			// γ per vertex: fraction of v's volume staying inside the
 			// cluster; singletons keep nothing inside.
@@ -246,6 +294,12 @@ func evaluate(ctx context.Context, d *Decomposition, exactLimit int, parallel bo
 	}
 	if stopped.Load() || ctx.Err() != nil {
 		return Report{}, Cancelled(ctx)
+	}
+	r.Cert = CertStats{
+		Cores:   cCores.Load(),
+		Stubs:   cStubs.Load(),
+		Subsets: cSubsets.Load(),
+		Bounds:  cBounds.Load(),
 	}
 	for c := 0; c < d.Count; c++ {
 		size := start[c+1] - start[c]

@@ -22,11 +22,13 @@ type ClusterStats struct {
 }
 
 // Details computes per-cluster statistics, sorted by ascending closure
-// conductance (the problematic clusters first). Closures of at most
-// exactLimit vertices are measured exactly.
+// conductance (the problematic clusters first). Clusters of at most
+// exactLimit core vertices are measured exactly by the stub-aware certifier.
 func Details(d *Decomposition, exactLimit int) []ClusterStats {
 	clusters := d.Clusters()
 	out := make([]ClusterStats, len(clusters))
+	cert := graph.NewCertifier(d.G)
+	var cb *graph.ClosureBuilder
 	for c, vs := range clusters {
 		st := ClusterStats{ID: c, Size: len(vs), GammaMin: math.Inf(1)}
 		st.Vol = d.G.VolSet(vs)
@@ -34,12 +36,14 @@ func Details(d *Decomposition, exactLimit int) []ClusterStats {
 		if st.Vol > 0 {
 			st.BoundaryRatio = st.Out / st.Vol
 		}
-		clo := mustClosure(d.G, vs)
-		if clo.N() <= exactLimit && clo.N() <= graph.MaxExactConductance {
-			st.Phi = mustExactConductance(clo)
+		if len(vs) <= exactLimit && len(vs) <= graph.MaxExactConductance {
+			st.Phi = mustClusterPhi(cert, vs)
 			st.PhiExact = true
 		} else {
-			st.Phi = clo.ConductanceUpperBound()
+			if cb == nil {
+				cb = graph.NewClosureBuilder(d.G)
+			}
+			st.Phi = mustBuilderClosure(cb, vs).ConductanceUpperBound()
 		}
 		in := make(map[int]bool, len(vs))
 		for _, v := range vs {

@@ -54,6 +54,51 @@ func TestEvaluateParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestEvaluateCertStats pins the certification work counters on a
+// hand-checkable instance: a 6-path split into two 3-clusters has one
+// boundary stub and 2² − 1 non-trivial core side-assignments per cluster.
+func TestEvaluateCertStats(t *testing.T) {
+	g, err := graph.NewFromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Decomposition{G: g, Assign: []int{0, 0, 0, 1, 1, 1}, Count: 2}
+	rep := Evaluate(d, graph.MaxExactConductance)
+	want := CertStats{Cores: 2, Stubs: 2, Subsets: 6}
+	if rep.Cert != want {
+		t.Errorf("Cert = %+v, want %+v", rep.Cert, want)
+	}
+	if !rep.PhiExact {
+		t.Error("PhiExact should hold when every core is under the limit")
+	}
+	// With exactLimit 0 every cluster falls back to a sweep bound.
+	rep = Evaluate(d, 0)
+	want = CertStats{Bounds: 2}
+	if rep.Cert != want {
+		t.Errorf("Cert with limit 0 = %+v, want %+v", rep.Cert, want)
+	}
+	if rep.PhiExact {
+		t.Error("PhiExact must clear when clusters exceed the limit")
+	}
+}
+
+// TestBuildMetricsCertString checks the metrics line renders the cert
+// counters exactly when they are nonzero.
+func TestBuildMetricsCertString(t *testing.T) {
+	var m BuildMetrics
+	if s := m.String(); s != "total=0s" {
+		t.Errorf("zero metrics string = %q", s)
+	}
+	m.Cert = CertStats{Cores: 3, Stubs: 7, Subsets: 21, Bounds: 1}
+	want := "cert(cores=3 stubs=7 subsets=21 bounds=1) | total=0s"
+	if s := m.String(); s != want {
+		t.Errorf("metrics string = %q, want %q", s, want)
+	}
+}
+
 // TestEvaluateParallelManyClusters forces the cluster count well past the
 // parallel grain so the fan-out genuinely splits, and checks equality again.
 func TestEvaluateParallelManyClusters(t *testing.T) {

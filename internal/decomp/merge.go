@@ -9,9 +9,10 @@ import (
 // MergeSingletons greedily folds singleton clusters (typically the critical
 // vertices Theorem 2.1 leaves alone) into the neighboring cluster with the
 // heaviest connection, accepting a merge only if the merged closure's
-// conductance stays at or above minPhi (checked exactly for closures up to
-// exactLimit vertices; larger merges are skipped). It returns a new
-// decomposition together with the number of merges performed.
+// conductance stays at or above minPhi (checked exactly by the stub-aware
+// certifier for merged clusters of up to exactLimit core vertices; larger
+// merges are skipped). It returns a new decomposition together with the
+// number of merges performed.
 //
 // This is the practical ρ-improvement pass: the theorems' reduction bounds
 // hold without it, but on real meshes it typically removes most singletons
@@ -24,6 +25,7 @@ func MergeSingletons(d *Decomposition, minPhi float64, exactLimit int) (*Decompo
 		members[c] = append([]int(nil), vs...)
 	}
 	merged := 0
+	cert := graph.NewCertifier(d.G)
 	// Process singletons in ascending vertex order for determinism.
 	var singles []int
 	for _, vs := range clusters {
@@ -60,11 +62,10 @@ func MergeSingletons(d *Decomposition, minPhi float64, exactLimit int) (*Decompo
 		})
 		for _, cd := range cands {
 			set := append([]int{v}, members[cd.c]...)
-			clo := mustClosure(d.G, set)
-			if clo.N() > exactLimit || clo.N() > graph.MaxExactConductance {
+			if len(set) > exactLimit || len(set) > graph.MaxExactConductance {
 				continue
 			}
-			if mustExactConductance(clo) >= minPhi {
+			if mustClusterPhi(cert, set) >= minPhi {
 				members[cd.c] = append(members[cd.c], v)
 				members[assign[v]] = nil
 				assign[v] = cd.c

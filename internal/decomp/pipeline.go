@@ -74,6 +74,10 @@ type StageMetrics struct {
 type BuildMetrics struct {
 	Stages    []StageMetrics
 	TotalTime time.Duration
+	// Cert counts the exact-certification work of the evaluate stage: cores
+	// enumerated, boundary stubs collapsed into anchor volumes, core
+	// side-assignments visited, and sweep-bound fallbacks.
+	Cert CertStats
 }
 
 // Stage returns the metrics of the named stage, if it ran.
@@ -93,6 +97,10 @@ func (m BuildMetrics) String() string {
 	for _, s := range m.Stages {
 		fmt.Fprintf(&b, "%s=%v (v=%d e=%d allocs=%d) | ",
 			s.Name, s.Duration.Round(time.Microsecond), s.Vertices, s.Edges, s.ScratchAllocs)
+	}
+	if m.Cert != (CertStats{}) {
+		fmt.Fprintf(&b, "cert(cores=%d stubs=%d subsets=%d bounds=%d) | ",
+			m.Cert.Cores, m.Cert.Stubs, m.Cert.Subsets, m.Cert.Bounds)
 	}
 	fmt.Fprintf(&b, "total=%v", m.TotalTime.Round(time.Microsecond))
 	return b.String()

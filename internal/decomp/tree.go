@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"hcd/internal/graph"
 	"hcd/internal/par"
@@ -100,6 +101,7 @@ func treeImpl(ctx context.Context, g *graph.Graph, parallel bool) (*Decompositio
 		}
 	}
 	b := &treeBuilder{g: g, d: d, crit: crit, critCluster: critCluster}
+	b.certs.New = func() any { return graph.NewCertifier(g) }
 	// Collect the maximal non-critical groups, then choose each group's
 	// best local partition (a pure, independent computation) and apply the
 	// choices. The choose phase fans out across cores when requested.
@@ -171,6 +173,7 @@ type treeBuilder struct {
 	d           *Decomposition
 	crit        []bool
 	critCluster []int
+	certs       sync.Pool // *graph.Certifier: per-goroutine scoring scratch
 }
 
 // candidate is one feasible local partition of a non-critical group: some
@@ -257,17 +260,18 @@ func (b *treeBuilder) pathShape(group []int) (mid int, ends [2]int) {
 
 // addOwn appends a candidate consisting of own-clusters plus assignments for
 // the leftover vertices; it is dropped if a leftover has no critical
-// neighbor. Own clusters are scored by their exact closure conductance.
+// neighbor. Own clusters are scored by their exact closure conductance,
+// certified directly on the cluster core (no closure materialized).
 func (b *treeBuilder) addOwn(cands *[]candidate, own [][]int, leftover []int) {
+	cert := b.certs.Get().(*graph.Certifier)
+	defer b.certs.Put(cert)
 	c := candidate{own: own, minScore: math.Inf(1)}
 	for _, set := range own {
-		clo := mustClosure(b.g, set)
-		if clo.N() > graph.MaxExactConductance {
-			// Cannot happen for groups of ≤ 3 tree vertices, whose closures
-			// have at most 9 vertices; guard anyway.
+		if len(set) > graph.MaxExactConductance {
+			// Cannot happen for groups of ≤ 3 tree vertices; guard anyway.
 			return
 		}
-		if phi := mustExactConductance(clo); phi < c.minScore {
+		if phi := mustClusterPhi(cert, set); phi < c.minScore {
 			c.minScore = phi
 		}
 	}

@@ -1,0 +1,336 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randGraph builds a random connected-ish weighted graph on n vertices whose
+// edge weights come from weight(). Edges are sampled with probability p plus
+// a random spanning-tree backbone when connect is set.
+func randGraph(t *testing.T, rng *rand.Rand, n int, p float64, connect bool, weight func() float64) *Graph {
+	t.Helper()
+	var es []Edge
+	if connect {
+		for v := 1; v < n; v++ {
+			es = append(es, Edge{U: rng.Intn(v), V: v, W: weight()})
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				es = append(es, Edge{U: u, V: v, W: weight()})
+			}
+		}
+	}
+	g, err := NewFromEdges(n, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestExactConductanceMatchesBruteForceIntegerWeights pins the stub-aware
+// certifier to the brute-force enumeration bit for bit: with integer edge
+// weights every cut and volume sum is exactly representable, so both
+// algorithms evaluate identical candidate values and must return the same
+// float64.
+func TestExactConductanceMatchesBruteForceIntegerWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	intWeight := func() float64 { return float64(1 + rng.Intn(16)) }
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(11)
+		g := randGraph(t, rng, n, 0.3, trial%2 == 0, intWeight)
+		fast, err := g.ExactConductance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := g.ExactConductanceBruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != brute {
+			t.Fatalf("trial %d (n=%d, core=%d): stub-aware %v != brute %v\nedges: %v",
+				trial, n, g.CoreSize(), fast, brute, g.Edges())
+		}
+	}
+}
+
+// TestExactConductanceMatchesBruteForceFloatWeights repeats the differential
+// check with float weights on connected graphs under a relative tolerance:
+// the two enumerations accumulate sums along different paths, so agreement
+// is mathematical, not bitwise. Connectivity matters — on disconnected
+// graphs the brute force's incrementally drifted volumes can turn a
+// degenerate cut (true denominator 0) into a spurious near-zero ratio, which
+// is a weakness of the oracle, not of the certifier (the integer-weight test
+// above is exact and bit-identical either way).
+func TestExactConductanceMatchesBruteForceFloatWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	floatWeight := func() float64 { return math.Exp(rng.NormFloat64()) }
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(11)
+		g := randGraph(t, rng, n, 0.35, true, floatWeight)
+		fast, err := g.ExactConductance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := g.ExactConductanceBruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(fast, 1) != math.IsInf(brute, 1) {
+			t.Fatalf("trial %d: stub-aware %v vs brute %v", trial, fast, brute)
+		}
+		if !math.IsInf(brute, 1) && math.Abs(fast-brute) > 1e-8*math.Max(1, brute) {
+			t.Fatalf("trial %d (n=%d): stub-aware %v vs brute %v (diff %g)",
+				trial, n, fast, brute, fast-brute)
+		}
+	}
+}
+
+// TestClusterPhiMatchesClosureBruteForce checks the cluster-direct certifier
+// against materializing the closure and brute-forcing it, bit for bit on
+// integer weights.
+func TestClusterPhiMatchesClosureBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	intWeight := func() float64 { return float64(1 + rng.Intn(16)) }
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(14)
+		g := randGraph(t, rng, n, 0.25, true, intWeight)
+		cert := NewCertifier(g)
+		cb := NewClosureBuilder(g)
+		for rep := 0; rep < 6; rep++ {
+			k := 1 + rng.Intn(5)
+			if k > n {
+				k = n
+			}
+			s := rng.Perm(n)[:k]
+			clo, _, err := g.Closure(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clo.N() > MaxExactConductance {
+				continue
+			}
+			brute, err := clo.ExactConductanceBruteForce()
+			if err != nil {
+				t.Fatal(err)
+			}
+			phi, err := cert.ClusterPhi(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if phi != brute {
+				t.Fatalf("trial %d rep %d (cluster %v): ClusterPhi %v != closure brute force %v",
+					trial, rep, s, phi, brute)
+			}
+			// The builder's closure must agree with Graph.Closure on the
+			// stub-aware certification too.
+			bclo, _, err := cb.Closure(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := bclo.ExactConductance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast != brute {
+				t.Fatalf("trial %d rep %d: builder-closure stub-aware %v != brute %v", trial, rep, fast, brute)
+			}
+		}
+	}
+}
+
+// TestClusterPhiErrors exercises the malformed-cluster paths.
+func TestClusterPhiErrors(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}})
+	cert := NewCertifier(g)
+	if _, err := cert.ClusterPhi([]int{1, 1}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("duplicate member: got %v", err)
+	}
+	if _, err := cert.ClusterPhi([]int{1, 9}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("out of range: got %v", err)
+	}
+	if _, err := cert.ClusterPhi([]int{1, -1}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("negative: got %v", err)
+	}
+	big := make([]int, MaxExactConductance+1)
+	if _, err := cert.ClusterPhi(big); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("oversized core: got %v", err)
+	}
+	if phi, err := cert.ClusterPhi(nil); err != nil || !math.IsInf(phi, 1) {
+		t.Fatalf("empty cluster: got %v, %v", phi, err)
+	}
+	// A valid call after the failures must still work (epoch hygiene).
+	phi, err := cert.ClusterPhi([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clo, _, _ := g.Closure([]int{1, 2})
+	want, _ := clo.ExactConductanceBruteForce()
+	if phi != want {
+		t.Fatalf("post-error certification: got %v want %v", phi, want)
+	}
+}
+
+// TestEnumerateCoreCutsParallelDeterminism forces the prefix-partitioned
+// enumeration (core > serialEnumBits+1) and checks it against the brute
+// force on a pendant-free graph, proving the chunked walk visits every
+// side-assignment. Run with -short to skip (the 2^17-step enumeration is
+// fast, but the brute force on 18 vertices is 2^17 too).
+func TestEnumerateCoreCutsParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	intWeight := func() float64 { return float64(1 + rng.Intn(8)) }
+	// 18 core vertices: nbits = 17 > serialEnumBits = 16 → chunked path.
+	n := serialEnumBits + 2
+	g := randGraph(t, rng, n, 0.3, true, intWeight)
+	if g.CoreSize() != n {
+		t.Fatalf("want pendant-free graph, core %d of %d", g.CoreSize(), n)
+	}
+	fast, err := g.ExactConductance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := g.ExactConductanceBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != brute {
+		t.Fatalf("chunked enumeration %v != brute %v", fast, brute)
+	}
+}
+
+// TestCertifierStats checks the certification counters: one core per call,
+// every boundary edge collapsed, 2^(k−1)−1 subsets visited.
+func TestCertifierStats(t *testing.T) {
+	// Path 0-1-2-3-4; cluster {1,2,3} has 2 boundary edges and a 3-core.
+	g := MustFromEdges(5, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}})
+	cert := NewCertifier(g)
+	if _, err := cert.ClusterPhi([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := CertStats{Cores: 1, Stubs: 2, Subsets: 3}
+	if cert.Stats != want {
+		t.Fatalf("stats %+v, want %+v", cert.Stats, want)
+	}
+	if _, err := cert.ClusterPhi([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	want = CertStats{Cores: 2, Stubs: 3, Subsets: 3}
+	if cert.Stats != want {
+		t.Fatalf("stats %+v, want %+v", cert.Stats, want)
+	}
+}
+
+// TestClosureBuilderMatchesClosure compares the reusable builder against the
+// allocating Graph.Closure / Graph.InducedSubgraph on random clusters:
+// identical vertex counts, volumes, back maps, and edge multisets.
+func TestClosureBuilderMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	weight := func() float64 { return math.Exp(rng.NormFloat64()) }
+	for trial := 0; trial < 120; trial++ {
+		n := 5 + rng.Intn(20)
+		g := randGraph(t, rng, n, 0.25, true, weight)
+		cb := NewClosureBuilder(g)
+		for rep := 0; rep < 5; rep++ {
+			k := 1 + rng.Intn(6)
+			if k > n {
+				k = n
+			}
+			s := rng.Perm(n)[:k]
+			wantClo, wantBack, err := g.Closure(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotClo, gotBack, err := cb.Closure(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGraphs(t, "Closure", gotClo, wantClo)
+			compareBacks(t, gotBack, wantBack[:k])
+			wantSub, wantBack2, err := g.InducedSubgraph(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSub, gotBack2, err := cb.InducedSubgraph(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGraphs(t, "InducedSubgraph", gotSub, wantSub)
+			compareBacks(t, gotBack2, wantBack2)
+		}
+	}
+	// Error paths mirror Graph.Closure.
+	g := MustFromEdges(3, []Edge{{0, 1, 1}, {1, 2, 1}})
+	cb := NewClosureBuilder(g)
+	if _, _, err := cb.Closure([]int{0, 0}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("duplicate: got %v", err)
+	}
+	if _, _, err := cb.InducedSubgraph([]int{5}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("out of range: got %v", err)
+	}
+}
+
+func compareGraphs(t *testing.T, op string, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("%s: size %d/%d edges %d/%d", op, got.N(), want.N(), got.M(), want.M())
+	}
+	for v := 0; v < got.N(); v++ {
+		if math.Abs(got.Vol(v)-want.Vol(v)) > 1e-12*math.Max(1, want.Vol(v)) {
+			t.Fatalf("%s: vol[%d] %v != %v", op, v, got.Vol(v), want.Vol(v))
+		}
+	}
+	gw := map[[2]int]float64{}
+	for _, e := range got.Edges() {
+		gw[[2]int{e.U, e.V}] = e.W
+	}
+	for _, e := range want.Edges() {
+		if gw[[2]int{e.U, e.V}] != e.W {
+			t.Fatalf("%s: edge (%d,%d) weight %v != %v", op, e.U, e.V, gw[[2]int{e.U, e.V}], e.W)
+		}
+	}
+}
+
+func compareBacks(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("back map length %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("back[%d] = %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestClosureBuilderZeroAlloc asserts the warm builder allocates nothing.
+func TestClosureBuilderZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randGraph(t, rng, 40, 0.15, true, func() float64 { return 1 + rng.Float64() })
+	cb := NewClosureBuilder(g)
+	cert := NewCertifier(g)
+	s := []int{3, 7, 11, 19}
+	if _, _, err := cb.Closure(s); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	if _, err := cert.ClusterPhi(s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := cb.Closure(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cb.InducedSubgraph(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cert.ClusterPhi(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm builder+certifier allocated %v times per run", allocs)
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzExactConductance differentially fuzzes the three conductance
+// computations: the stub-aware certifier (ExactConductance and
+// Certifier.ClusterPhi) must agree bit-for-bit with the brute-force cut
+// enumeration, and ConductanceUpperBound must dominate the exact value. The
+// fuzzer decodes the input bytes into a small graph with small-integer edge
+// weights, so every cut weight and volume is exactly representable and both
+// enumerations evaluate identical candidate values — exact float64 equality
+// is the correct oracle, not a tolerance.
+func FuzzExactConductance(f *testing.F) {
+	f.Add([]byte{6, 0, 1, 3, 1, 2, 5, 2, 3, 1, 3, 4, 2, 4, 5, 9})
+	f.Add([]byte{3, 0, 1, 1, 1, 2, 1})
+	f.Add([]byte{9, 0, 1, 15, 0, 2, 15, 0, 3, 1, 3, 4, 1, 4, 5, 2, 2, 6, 3, 6, 7, 3, 7, 8, 4})
+	f.Add([]byte{2, 0, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		// Byte 0: vertex count in [2, 12]; triples (u, v, w) follow.
+		n := 2 + int(data[0])%11
+		var es []Edge
+		for i := 1; i+2 < len(data); i += 3 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u == v {
+				continue
+			}
+			es = append(es, Edge{U: u, V: v, W: float64(1 + int(data[i+2])%16)})
+		}
+		g, err := NewFromEdges(n, es)
+		if err != nil {
+			t.Fatalf("construction from valid edges failed: %v", err)
+		}
+		brute, err := g.ExactConductanceBruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := g.ExactConductance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != brute {
+			t.Fatalf("stub-aware %v != brute force %v (n=%d core=%d edges=%v)",
+				fast, brute, n, g.CoreSize(), g.Edges())
+		}
+		if bound := g.ConductanceUpperBound(); !math.IsInf(brute, 1) && bound < brute {
+			t.Fatalf("upper bound %v < exact %v", bound, brute)
+		}
+		// Cluster-direct certification: certify the cluster made of the
+		// first half of the vertices against the materialized closure.
+		s := make([]int, 0, n/2)
+		for v := 0; v < (n+1)/2; v++ {
+			s = append(s, v)
+		}
+		clo, _, err := g.Closure(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clo.N() <= MaxExactConductance {
+			want, err := clo.ExactConductanceBruteForce()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewCertifier(g).ClusterPhi(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("ClusterPhi %v != closure brute force %v (cluster %v of %v)",
+					got, want, s, g.Edges())
+			}
+		}
+	})
+}

@@ -617,8 +617,19 @@ func TestClosureInvalidInput(t *testing.T) {
 }
 
 func TestExactConductanceTooLarge(t *testing.T) {
-	g := pathGraph(MaxExactConductance + 1)
+	// A cycle has no pendant stubs, so its core is the whole vertex set and
+	// the enumeration limit applies to it directly.
+	g := cycleGraph(MaxExactConductance + 1)
 	if _, err := g.ExactConductance(); !errors.Is(err, ErrInvalidInput) {
-		t.Fatalf("oversized graph: err = %v, want ErrInvalidInput", err)
+		t.Fatalf("oversized core: err = %v, want ErrInvalidInput", err)
+	}
+	// A path of the same size certifies fine: its two endpoints are stubs,
+	// leaving a core of MaxExactConductance − 1 vertices.
+	p := pathGraph(MaxExactConductance + 1)
+	if _, err := p.ExactConductance(); err != nil {
+		t.Fatalf("path with %d-vertex core: %v", p.CoreSize(), err)
+	}
+	if _, err := p.ExactConductanceBruteForce(); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("oversized brute force: err = %v, want ErrInvalidInput", err)
 	}
 }

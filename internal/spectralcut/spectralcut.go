@@ -125,13 +125,15 @@ func DecomposeCtx(ctx context.Context, g *graph.Graph, opt Options) (*decomp.Dec
 }
 
 // certify decides whether sub's conductance is ≥ target. The bool pair is
-// (meets target, certificate is sound). Exact below the enumeration limit;
-// Cheeger λ₂/2 above it.
+// (meets target, certificate is sound). Exact when the stub-free core is
+// below the enumeration limit — pendant vertices are placed in closed form
+// by the stub-aware certifier, so a large cluster with a small 2-core-like
+// interior still gets an exact certificate; Cheeger λ₂/2 otherwise.
 func certify(sub *graph.Graph, target float64, st *Stats, seed int64) (bool, bool) {
-	if sub.N() <= graph.MaxExactConductance {
+	if sub.CoreSize() <= graph.MaxExactConductance {
 		phi, err := sub.ExactConductance()
 		if err != nil {
-			// Unreachable: the size limit was just checked.
+			// Unreachable: the core limit was just checked.
 			panic(err)
 		}
 		return phi >= target, true
