@@ -56,11 +56,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadMatrixMarket -fuzztime=10s ./internal/gio
 	$(GO) test -run '^$$' -fuzz FuzzExactConductance -fuzztime=10s ./internal/graph
 
-# bench-json: run the evaluate benchmark and write the machine-readable
-# record (ns/op, B/op, allocs/op, host core count) behind BENCH.md.
+# bench-json: run the committed benchmark set and write the machine-readable
+# records (ns/op, B/op, allocs/op, host core count) behind BENCH.md:
+# the parallel Evaluate, the DecomposeCtx pipeline builds, and the warm
+# zero-alloc Engine solves.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate$$' -benchmem . \
 		| $(GO) run ./cmd/hcd-benchjson -out BENCH_evaluate.json
+	$(GO) test -run '^$$' -bench 'BenchmarkDecomposePipeline' -benchmem . \
+		| $(GO) run ./cmd/hcd-benchjson -out BENCH_decompose.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmSolves' -benchmem . \
+		| $(GO) run ./cmd/hcd-benchjson -out BENCH_solve.json
 
 experiments:
 	$(GO) run ./cmd/hcd-experiments

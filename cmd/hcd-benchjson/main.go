@@ -33,6 +33,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Procs is the GOMAXPROCS the benchmark ran at, decoded from the "-N"
+	// suffix go test appends to the name (0 when the name carries none).
+	Procs int `json:"procs,omitempty"`
 }
 
 // Record is the top-level JSON document.
@@ -103,6 +106,11 @@ func parseBenchLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	r := Result{Name: fields[0], Iterations: iters}
+	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+		if p, perr := strconv.Atoi(r.Name[i+1:]); perr == nil && p > 0 {
+			r.Procs = p
+		}
+	}
 	seen := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, unit := fields[i], fields[i+1]

@@ -6,11 +6,15 @@
 //	hcd-decompose -graph grid3d:20 -algo fixed -k 4 -seed 1
 //	hcd-decompose -graph tree:100000 -algo tree
 //	hcd-decompose -graph mesh:80 -algo planar
+//	hcd-decompose -graph grid2d:64 -algo spectral -metrics
+//	hcd-decompose -graph grid3d:16 -algo fixed -json -trace build.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -20,57 +24,74 @@ import (
 
 func main() { cli.Main(run) }
 
-func run() error {
+func run() (err error) {
 	graphSpec := flag.String("graph", "grid3d:16", "workload graph spec (grid2d:S, grid3d:S, mesh:S, oct:S, tree:N, regular:N,D, unit2d:S)")
-	algo := flag.String("algo", "fixed", "decomposition algorithm: tree | fixed | planar | minorfree")
+	algo := flag.String("algo", "fixed", "decomposition algorithm: tree | fixed | planar | minorfree | spectral")
 	k := flag.Int("k", 4, "cluster size cap for -algo fixed")
 	seed := flag.Int64("seed", 1, "random seed")
 	hist := flag.Bool("hist", false, "print cluster size histogram")
 	detail := flag.Int("detail", 0, "print the N worst clusters by closure conductance")
 	merge := flag.Float64("merge", 0, "if > 0, fold singleton clusters into neighbors keeping closure conductance ≥ this floor")
+	metrics := flag.Bool("metrics", false, "print the aggregated build/cert metric registry (Prometheus text format)")
+	jsonOut := flag.Bool("json", false, "print the aggregated metric registry as JSON")
+	o := cli.ObsFlags()
 	flag.Parse()
+
+	method, ok := map[string]hcd.DecomposeMethod{
+		"tree":      hcd.MethodTree,
+		"fixed":     hcd.MethodFixedDegree,
+		"planar":    hcd.MethodPlanar,
+		"minorfree": hcd.MethodMinorFree,
+		"spectral":  hcd.MethodSpectral,
+	}[*algo]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
 
 	g, err := cli.BuildGraph(*graphSpec, *seed)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	var d *hcd.Decomposition
-	switch *algo {
-	case "tree":
-		d, err = hcd.DecomposeTree(g)
-	case "fixed":
-		d, err = hcd.DecomposeFixedDegree(g, *k, *seed)
-	case "planar":
-		var res *hcd.PlanarResult
-		res, err = hcd.DecomposePlanar(g, hcd.DefaultPlanarOptions())
-		if err == nil {
-			d = res.D
-			fmt.Printf("pipeline: core |W|=%d, cut |C|=%d, avg stretch %.2f\n",
-				res.CoreSize, res.CutEdges, res.AvgStretch)
-		}
-	case "minorfree":
-		var res *hcd.PlanarResult
-		res, err = hcd.DecomposeMinorFree(g, *seed)
-		if err == nil {
-			d = res.D
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	ctx, err := o.Start(context.Background())
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if cerr := o.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	reg := o.Registry
+	if reg == nil && (*metrics || *jsonOut) {
+		reg = hcd.NewMetricRegistry()
+		ctx = hcd.WithMetricRegistry(ctx, reg)
+	}
+
+	opt := hcd.DefaultDecomposeOptions(method)
+	opt.Seed = *seed
+	if method == hcd.MethodFixedDegree {
+		opt.SizeCap = *k
+	}
+	start := time.Now()
+	res, err := hcd.DecomposeCtx(ctx, g, opt)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	d, rep := res.D, res.Report
+	if res.B != nil {
+		fmt.Printf("pipeline: core |W|=%d, cut |C|=%d, avg stretch %.2f\n",
+			res.CoreSize, res.CutEdges, res.AvgStretch)
+	}
 	if *merge > 0 {
 		var merges int
 		d, merges = hcd.MergeSingletons(d, *merge)
 		fmt.Printf("merged %d singleton clusters (floor φ ≥ %v)\n", merges, *merge)
+		rep = hcd.Evaluate(d)
 	}
 	if err := hcd.Validate(d); err != nil {
 		return fmt.Errorf("decomposition invalid: %w", err)
 	}
-	rep := hcd.Evaluate(d)
 	fmt.Printf("graph: %s  n=%d m=%d\n", *graphSpec, g.N(), g.M())
 	fmt.Printf("algorithm: %s  time: %v\n", *algo, elapsed)
 	t := cli.NewTable("metric", "value")
@@ -82,6 +103,13 @@ func run() error {
 	t.Row("max cluster size", rep.MaxClusterSize)
 	t.Row("singleton clusters", rep.Singletons)
 	fmt.Print(t)
+	if len(res.Metrics.Stages) > 0 {
+		st := cli.NewTable("stage", "time", "vertices", "edges")
+		for _, s := range res.Metrics.Stages {
+			st.Row(s.Name, s.Duration, s.Vertices, s.Edges)
+		}
+		fmt.Print(st)
+	}
 	if *hist {
 		printHistogram(d)
 	}
@@ -92,6 +120,15 @@ func run() error {
 		}
 		for _, s := range stats {
 			fmt.Println(s)
+		}
+	}
+	if *jsonOut {
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if *metrics {
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
 		}
 	}
 	if rep.Phi <= 0 {

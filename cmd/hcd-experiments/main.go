@@ -16,6 +16,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -28,6 +29,12 @@ import (
 var (
 	full    = flag.Bool("full", false, "run paper-scale sizes (slower)")
 	metrics = flag.Bool("metrics", false, "print per-solve metrics (matvecs, applies, phase times) after each PCG table")
+
+	// obsCtx is the root context of every experiment; main swaps in the
+	// instrumented context when -trace/-listen are set, so the context-aware
+	// paths (DecomposeCtx and everything under it) record spans and publish
+	// registry metrics.
+	obsCtx = context.Background()
 )
 
 // report prints one labelled solve-metrics line when -metrics is set.
@@ -53,7 +60,25 @@ func reportBuild(label string, m hcd.BuildMetrics) {
 
 func main() {
 	sel := flag.String("e", "", "comma-separated experiment ids (E1..E9,A1..A3); empty = all")
+	o := cli.ObsFlags()
 	flag.Parse()
+	var err error
+	obsCtx, err = o.Start(obsCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *metrics {
+		obsCtx = o.EnsureRegistry(obsCtx)
+	}
+	defer func() {
+		if *metrics && o.Registry != nil {
+			fmt.Println("\nregistry:")
+			_ = o.Registry.WritePrometheus(os.Stdout)
+		}
+		if cerr := o.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}()
 	want := map[string]bool{}
 	for _, id := range strings.Split(*sel, ",") {
 		if id != "" {
@@ -110,7 +135,7 @@ func e1() {
 	b := cli.MeanFreeRHS(g.N(), 7)
 	dopt := hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree)
 	dopt.SkipReport = true
-	dres := must(hcd.DecomposeCtx(context.Background(), g, dopt))
+	dres := must(hcd.DecomposeCtx(obsCtx, g, dopt))
 	d := dres.D
 	reportBuild("steiner clustering", dres.Metrics)
 	sp := must(hcd.NewSteinerPreconditioner(d))
@@ -206,7 +231,7 @@ func e4() {
 	for _, side := range sides {
 		g := hcd.PlanarMesh(side, side, hcd.LognormalWeights(1), 3)
 		opt := hcd.DefaultDecomposeOptions(hcd.MethodPlanar)
-		res := must(hcd.DecomposeCtx(context.Background(), g, opt))
+		res := must(hcd.DecomposeCtx(obsCtx, g, opt))
 		rep := res.Report
 		t.Row(side, g.N(), rep.Phi, rep.Rho, rep.Phi*rep.Rho, res.CoreSize, res.CutEdges)
 		reportBuild(fmt.Sprintf("planar %d", side), res.Metrics)

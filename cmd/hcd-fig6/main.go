@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,7 +21,18 @@ func main() {
 	side := flag.Int("side", 20, "3D grid side (n = side³)")
 	iters := flag.Int("iters", 40, "iterations to plot (the paper shows 40)")
 	seed := flag.Int64("seed", 1, "random seed")
+	o := cli.ObsFlags()
 	flag.Parse()
+
+	ctx, err := o.Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if cerr := o.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}()
 
 	opt := hcd.DefaultOCTOptions()
 	opt.Seed = *seed
@@ -51,8 +63,14 @@ func main() {
 	solve := hcd.DefaultSolveOptions()
 	solve.Tol = 1e-16 // run the full iteration budget, like the figure
 	solve.MaxIter = *iters
-	sres := hcd.SolvePCG(g, b, sp, solve)
-	gres := hcd.SolvePCG(g, b, sub.P, solve)
+	sres, err := hcd.SolvePCGCtx(ctx, g, b, sp, solve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gres, err := hcd.SolvePCGCtx(ctx, g, b, sub.P, solve)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("# Figure 6 reproduction: weighted 3D grid %d^3 (n=%d)\n", *side, g.N())
 	fmt.Printf("# steiner reduction=%.2f (quotient %d), subgraph reduction=%.2f (core %d)\n",

@@ -21,6 +21,11 @@ import (
 	"hcd/internal/par"
 )
 
+// chaosCtx is the root context of every chaos check; main swaps in the
+// instrumented context when -trace/-listen are set, so the fault-recovery
+// battery records its span trees and fault-fire instants.
+var chaosCtx = context.Background()
+
 // chaosChecks runs the battery and returns the failure count.
 func chaosChecks() int {
 	checks := []struct {
@@ -54,7 +59,7 @@ func chaosMatvecNaN() error {
 		faultinject.MatvecNaN: {OnHit: 1, Count: 2},
 	})
 	defer restore()
-	res, rep, err := hcd.SolveResilient(context.Background(), g, b, hcd.DefaultResilienceOptions())
+	res, rep, err := hcd.SolveResilient(chaosCtx, g, b, hcd.DefaultResilienceOptions())
 	if err != nil {
 		return fmt.Errorf("ladder failed: %w (report: %s)", err, rep)
 	}
@@ -107,12 +112,12 @@ func chaosStageFail() error {
 		faultinject.StageFail: {OnHit: 1, Count: 1},
 	})
 	defer restore()
-	_, err := hcd.DecomposeCtx(context.Background(), g, hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree))
+	_, err := hcd.DecomposeCtx(chaosCtx, g, hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree))
 	if !errors.Is(err, faultinject.ErrInjected) {
 		return fmt.Errorf("err = %v, want the injected stage fault", err)
 	}
 	// Past the fault window the same build must succeed.
-	if _, err := hcd.DecomposeCtx(context.Background(), g, hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree)); err != nil {
+	if _, err := hcd.DecomposeCtx(chaosCtx, g, hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree)); err != nil {
 		return fmt.Errorf("clean rebuild after fault window: %w", err)
 	}
 	return nil
@@ -127,7 +132,7 @@ func chaosCorruptBuild() error {
 	defer restore()
 	opt := hcd.DefaultResilienceOptions()
 	opt.Hierarchy.DirectLimit = 50
-	res, rep, err := hcd.SolveResilient(context.Background(), g, b, opt)
+	res, rep, err := hcd.SolveResilient(chaosCtx, g, b, opt)
 	if err != nil {
 		return fmt.Errorf("ladder failed: %w (report: %s)", err, rep)
 	}
@@ -149,7 +154,7 @@ func chaosBreakdownRestart() error {
 	defer restore()
 	opt := hcd.DefaultSolveOptions()
 	opt.Recovery = hcd.RecoveryPolicy{MaxRestarts: 1}
-	res, err := hcd.SolvePCGCtx(context.Background(), g, b, nil, opt)
+	res, err := hcd.SolvePCGCtx(chaosCtx, g, b, nil, opt)
 	if err != nil {
 		return err
 	}

@@ -32,14 +32,30 @@ func main() {
 	rounds := flag.Int("rounds", 25, "random instances per check")
 	seed := flag.Int64("seed", 1, "base seed")
 	chaos := flag.Bool("chaos", false, "run the deterministic fault-recovery battery instead of the theorem checks")
+	o := cli.ObsFlags()
 	flag.Parse()
 
+	var err error
+	chaosCtx, err = o.Start(chaosCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *chaos {
-		if bad := chaosChecks(); bad > 0 {
+		bad := chaosChecks()
+		if cerr := o.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		if bad > 0 {
 			os.Exit(1)
 		}
 		return
 	}
+	defer func() {
+		if cerr := o.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+	}()
 
 	checks := []struct {
 		name string

@@ -6,21 +6,25 @@
 //	hcd-solve -graph oct:16 -precond hierarchy
 //	hcd-solve -graph grid3d:20 -precond steiner -tol 1e-10
 //	hcd-solve -graph grid3d:32 -precond hierarchy -metrics -timeout 30s
+//	hcd-solve -graph grid3d:16 -resilient -trace trace.json
+//	hcd-solve -graph grid3d:24 -listen :6060
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"hcd"
 	"hcd/internal/cli"
+	"hcd/internal/obs"
 )
 
 func main() { cli.Main(run) }
 
-func run() error {
+func run() (err error) {
 	graphSpec := flag.String("graph", "oct:12", "workload graph spec")
 	precond := flag.String("precond", "hierarchy", "preconditioner: none | jacobi | steiner | subgraph | tree | hierarchy")
 	method := flag.String("method", "pcg", "iteration: pcg | chebyshev")
@@ -30,7 +34,10 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	history := flag.Bool("history", false, "print the full residual history")
 	metrics := flag.Bool("metrics", false, "print per-solve metrics (matvecs, applies, phase times)")
+	stream := flag.Bool("stream", false, "stream residual norms to stderr as the solve iterates")
+	resilient := flag.Bool("resilient", false, "solve through the resilient fallback ladder (ignores -precond/-method)")
 	timeout := flag.Duration("timeout", 0, "solve deadline (0 = none); an expired deadline cancels the iteration")
+	o := cli.ObsFlags()
 	flag.Parse()
 
 	g, err := cli.BuildGraph(*graphSpec, *seed)
@@ -38,6 +45,61 @@ func run() error {
 		return err
 	}
 	b := cli.MeanFreeRHS(g.N(), *seed+100)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, err = o.Start(ctx)
+	if err != nil {
+		return err
+	}
+	if *metrics {
+		ctx = o.EnsureRegistry(ctx)
+	}
+	defer func() {
+		if cerr := o.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	var observer hcd.IterationObserver
+	if o.Tracer != nil || o.Registry != nil || *stream {
+		var ws hcd.IterationObserver
+		if *stream {
+			ws = obs.StreamResiduals(os.Stderr)
+		}
+		observer = obs.MultiObserver(
+			obs.TraceResiduals(o.Tracer, "residual"),
+			obs.HistogramResiduals(o.Registry, "hcd_solve_residual"),
+			ws,
+		)
+	}
+
+	if *resilient {
+		ropt := hcd.DefaultResilienceOptions()
+		ropt.Solve.Tol = *tol
+		ropt.Solve.Observer = observer
+		ropt.Hierarchy.SizeCap = *k
+		ropt.Hierarchy.Seed = *seed
+		solveStart := time.Now()
+		res, rep, rerr := hcd.SolveResilient(ctx, g, b, ropt)
+		solveTime := time.Since(solveStart)
+		fmt.Printf("graph: %s  n=%d m=%d\n", *graphSpec, g.N(), g.M())
+		fmt.Printf("ladder: %s\n", rep.String())
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Printf("rung: %s  recovered: %v\n", rep.Rung, rep.Recovered)
+		fmt.Printf("outcome: %s  iterations: %d  solve: %v\n", res.Outcome, res.Iterations, solveTime)
+		if *metrics {
+			printMetrics(res.Metrics)
+		}
+		printRegistry(o, *metrics)
+		return nil
+	}
+
 	buildStart := time.Now()
 	var m hcd.Preconditioner
 	switch *precond {
@@ -64,7 +126,7 @@ func run() error {
 		opt.SizeCap = *k
 		opt.Seed = *seed
 		var h *hcd.Hierarchy
-		h, err = hcd.NewHierarchy(g, opt)
+		h, err = hcd.NewHierarchyCtx(ctx, g, opt)
 		if err == nil {
 			fmt.Printf("hierarchy levels: %v\n", h.LevelSizes())
 			m = h
@@ -77,15 +139,9 @@ func run() error {
 	}
 	buildTime := time.Since(buildStart)
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
 	opt := hcd.DefaultSolveOptions()
 	opt.Tol = *tol
+	opt.Observer = observer
 	solveStart := time.Now()
 	var res hcd.SolveResult
 	if *method == "chebyshev" {
@@ -94,6 +150,7 @@ func run() error {
 		}
 		copt := hcd.DefaultChebyshevOptions(*chebIters)
 		copt.Tol = *tol
+		copt.Observer = observer
 		cres, cerr := hcd.SolveChebyshevCtx(ctx, g, b, m, copt)
 		if cerr != nil {
 			return cerr
@@ -128,7 +185,18 @@ func run() error {
 			fmt.Printf("%d %.6e\n", i, r)
 		}
 	}
+	printRegistry(o, *metrics)
 	return nil
+}
+
+// printRegistry dumps the aggregated metric registry when -metrics is
+// combined with an instrumented run (-trace/-listen created a registry).
+func printRegistry(o *cli.Obs, metrics bool) {
+	if !metrics || o.Registry == nil {
+		return
+	}
+	fmt.Println("registry:")
+	_ = o.Registry.WritePrometheus(os.Stdout)
 }
 
 func printMetrics(m hcd.SolveMetrics) {

@@ -14,6 +14,7 @@ import (
 
 	"hcd/internal/decomp"
 	"hcd/internal/graph"
+	"hcd/internal/obs"
 	"hcd/internal/sparsify"
 	"hcd/internal/spectralcut"
 )
@@ -149,6 +150,11 @@ type DecomposeResult struct {
 // and scratch allocations into the returned BuildMetrics. A cancelled build
 // returns an error wrapping both ErrBuildCancelled and the context's error.
 func DecomposeCtx(ctx context.Context, g *Graph, opt DecomposeOptions) (*DecomposeResult, error) {
+	if obs.TracerFrom(ctx) != nil {
+		var sp *obs.Span
+		ctx, sp = obs.StartSpan(ctx, "decompose/"+opt.Method.String())
+		defer sp.End()
+	}
 	p := decomp.NewPipeline(ctx)
 	res := &DecomposeResult{}
 	var err error
@@ -176,6 +182,7 @@ func DecomposeCtx(ctx context.Context, g *Graph, opt DecomposeOptions) (*Decompo
 		})
 	}
 	res.Metrics = p.Metrics
+	res.Metrics.Publish(obs.RegistryFrom(ctx))
 	if err != nil {
 		return nil, err
 	}

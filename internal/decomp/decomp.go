@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"hcd/internal/graph"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 )
 
@@ -196,6 +197,8 @@ func EvaluateSerial(d *Decomposition, exactLimit int) Report {
 }
 
 func evaluate(ctx context.Context, d *Decomposition, exactLimit int, parallel bool) (Report, error) {
+	ctx, sp := obs.StartSpan(ctx, "decomp/evaluate")
+	defer sp.End()
 	r := Report{Phi: math.Inf(1), PhiExact: true, Rho: d.ReductionFactor(), Count: d.Count, GammaMin: math.Inf(1)}
 	// γ_avg: fraction of edge weight crossing between clusters. The float
 	// sum stays serial in vertex order regardless of the parallel flag (a
@@ -319,6 +322,12 @@ func evaluate(ctx context.Context, d *Decomposition, exactLimit int, parallel bo
 			r.GammaMin = gamma[c]
 		}
 	}
+	if sp != nil {
+		sp.Arg("clusters", r.Count)
+		sp.Arg("phi", r.Phi)
+		sp.Arg("subsets", r.Cert.Subsets)
+	}
+	publishReport(obs.RegistryFrom(ctx), &r)
 	return r, nil
 }
 

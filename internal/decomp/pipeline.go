@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hcd/internal/faultinject"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 )
 
@@ -152,10 +153,18 @@ func (p *Pipeline) Run(name string, fn func(ctx context.Context) (StageInfo, err
 			return fmt.Errorf("decomp: stage %s: %w", name, err)
 		}
 	}
+	// The span name is only materialized when a tracer is installed, so the
+	// disabled path performs no concatenation and no allocation.
+	sctx := p.ctx
+	var sp *obs.Span
+	if obs.TracerFrom(p.ctx) != nil {
+		sctx, sp = obs.StartSpan(p.ctx, "build/"+name)
+	}
+	defer sp.End()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	info, err := runStage(p.ctx, fn)
+	info, err := runStage(sctx, fn)
 	dur := time.Since(start)
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
@@ -167,6 +176,13 @@ func (p *Pipeline) Run(name string, fn func(ctx context.Context) (StageInfo, err
 		ScratchAllocs: int(after.Mallocs - before.Mallocs),
 	})
 	p.Metrics.TotalTime = time.Since(p.start)
+	if sp != nil {
+		sp.Arg("vertices", info.Vertices)
+		sp.Arg("edges", info.Edges)
+		if err != nil {
+			sp.Arg("error", err.Error())
+		}
+	}
 	if err != nil {
 		if cancellation(err) && !errors.Is(err, ErrBuildCancelled) {
 			err = fmt.Errorf("%w: %w", ErrBuildCancelled, err)

@@ -1,0 +1,42 @@
+package decomp
+
+import "hcd/internal/obs"
+
+// Publish accumulates the build's per-stage costs into the registry under
+// the hcd_build_* namespace, one labelled series per stage name.
+// Certification counters (BuildMetrics.Cert) are NOT re-published here —
+// they flow into the registry at their source, the evaluate measurement
+// loop — so a build that already ran with a registry in its context never
+// double-counts. DecomposeCtx calls Publish automatically when a registry
+// travels in the build context. Nil registries are no-ops.
+func (m BuildMetrics) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	for _, s := range m.Stages {
+		r.Counter(`hcd_build_stage_runs_total{stage="` + s.Name + `"}`).Inc()
+		r.Counter(`hcd_build_stage_ns_total{stage="` + s.Name + `"}`).Add(int64(s.Duration))
+		r.Counter(`hcd_build_stage_allocs_total{stage="` + s.Name + `"}`).Add(int64(s.ScratchAllocs))
+	}
+	r.Counter("hcd_build_total").Inc()
+	r.Counter("hcd_build_ns_total").Add(int64(m.TotalTime))
+}
+
+// publishReport records the quality measurements of one evaluation: the
+// exact certification work counters plus last-evaluation gauges of the
+// headline [φ, ρ] figures. Called from the evaluate loop when a registry
+// travels in its context; the integer counters are aggregated with atomic
+// adds from deterministic per-cluster work, so totals are identical at any
+// GOMAXPROCS.
+func publishReport(r *obs.Registry, rep *Report) {
+	if r == nil {
+		return
+	}
+	rep.Cert.Publish(r)
+	r.Counter("hcd_evaluate_total").Inc()
+	r.Counter("hcd_evaluate_clusters_total").Add(int64(rep.Count))
+	r.Gauge("hcd_evaluate_last_phi").Set(rep.Phi)
+	r.Gauge("hcd_evaluate_last_rho").Set(rep.Rho)
+	r.Gauge("hcd_evaluate_last_gamma_min").Set(rep.GammaMin)
+	r.Gauge("hcd_evaluate_last_clusters").Set(float64(rep.Count))
+}

@@ -87,7 +87,25 @@ var (
 	enabled atomic.Bool
 	mu      sync.Mutex
 	active  atomic.Pointer[plan]
+
+	// observer, when set, is invoked with the point name every time a fault
+	// actually fires — the hook the observability layer uses to drop an
+	// instant event into the active trace at the exact moment of injection.
+	observer atomic.Pointer[observerFunc]
 )
+
+type observerFunc struct{ fn func(point string) }
+
+// SetObserver installs fn to be called (on the goroutine that hit the fault
+// point) whenever a fault fires; nil removes it. Only one observer is held;
+// the caller is responsible for keeping fn cheap and concurrency-safe.
+func SetObserver(fn func(point string)) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&observerFunc{fn: fn})
+}
 
 // Enabled reports whether a fault plan is active. Instrumented call sites
 // use it as the zero-cost production guard:
@@ -143,6 +161,9 @@ func Fire(name string) bool {
 	}
 	if pt.spec.Count > 0 && h >= int64(pt.spec.OnHit+pt.spec.Count) {
 		return false
+	}
+	if o := observer.Load(); o != nil {
+		o.fn(name)
 	}
 	return true
 }

@@ -1,0 +1,17 @@
+package graph
+
+import "hcd/internal/obs"
+
+// Publish accumulates the certification work counters into the registry
+// under the hcd_cert_* namespace. The counters are deterministic functions
+// of the certified clusters (see the CertStats doc), so published totals
+// are identical at any GOMAXPROCS. Nil registries are no-ops.
+func (s CertStats) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("hcd_cert_cores_total").Add(s.Cores)
+	r.Counter("hcd_cert_stubs_total").Add(s.Stubs)
+	r.Counter("hcd_cert_subsets_total").Add(s.Subsets)
+	r.Counter("hcd_cert_bounds_total").Add(s.Bounds)
+}

@@ -17,6 +17,7 @@ import (
 	"hcd/internal/decomp"
 	"hcd/internal/dense"
 	"hcd/internal/graph"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 )
 
@@ -84,13 +85,22 @@ func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (h *Hierarchy, err
 	if opt.DirectLimit < 1 {
 		opt.DirectLimit = 1
 	}
+	ctx, hsp := obs.StartSpan(ctx, "hierarchy/build")
+	defer hsp.End()
 	h = &Hierarchy{}
 	cur := g
 	for level := 0; cur.N() > opt.DirectLimit && level < opt.MaxLevels; level++ {
 		if ctx.Err() != nil {
 			return nil, decomp.Cancelled(ctx)
 		}
-		d, err := decomp.FixedDegreeCtx(ctx, cur, opt.SizeCap, opt.Seed+int64(level))
+		lctx := ctx
+		var lsp *obs.Span
+		if hsp != nil {
+			lctx, lsp = obs.StartSpan(ctx, fmt.Sprintf("hierarchy/level-%d", level))
+			lsp.Arg("vertices", cur.N())
+		}
+		d, err := decomp.FixedDegreeCtx(lctx, cur, opt.SizeCap, opt.Seed+int64(level))
+		lsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("hierarchy: level %d clustering failed: %w", level, err)
 		}
@@ -143,6 +153,10 @@ func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (h *Hierarchy, err
 	}
 	h.coarse = pin
 	h.cbuf = make([]float64, cur.N())
+	if hsp != nil {
+		hsp.Arg("levels", len(h.levels))
+		hsp.Arg("coarse_size", cur.N())
+	}
 	return h, nil
 }
 

@@ -1,0 +1,74 @@
+package obs
+
+import "context"
+
+// The tracer, the current parent span, and the metric registry travel in a
+// context.Context. The disabled path — no tracer or registry installed — is
+// a plain Value lookup returning nil, with no allocation and no branch
+// beyond the nil check at the call site.
+
+type tracerKey struct{}
+type spanKey struct{}
+type registryKey struct{}
+
+// WithTracer installs a tracer; spans started with StartSpan under the
+// returned context record into it. A nil tracer returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the installed tracer, or nil (including for nil ctx).
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// WithRegistry installs a metric registry; instrumented layers publish
+// into it at their natural aggregation points (solve finish, build finish,
+// evaluate finish). A nil registry returns ctx unchanged.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// RegistryFrom returns the installed registry, or nil (including for nil
+// ctx).
+func RegistryFrom(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}
+
+// StartSpan opens a span named name under the context's current span (a
+// root span if none) and returns a derived context carrying the new span as
+// parent for its descendants. With no tracer installed — the production
+// fast path — it returns ctx unchanged and a nil span, allocating nothing;
+// the caller unconditionally defers sp.End().
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	sp := t.start(name, parent)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The runtime profiling surface: NewMux assembles the standard diagnostic
+// endpoints over a registry without touching http.DefaultServeMux, so CLIs
+// opt in with -listen and libraries embedding hcd can mount the mux under
+// their own server.
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/metrics.json   the registry's JSON encoding
+//	/debug/vars     expvar (cmdline, memstats, plus an "hcd" snapshot)
+//	/debug/pprof/*  the net/http/pprof profile family (heap, goroutine,
+//	                profile, trace, ...)
+
+var expvarOnce sync.Once
+
+// NewMux returns an http.ServeMux serving the observability endpoints for
+// r (which may be nil: the metric endpoints then serve empty documents —
+// the pprof and expvar endpoints remain fully functional).
+func NewMux(r *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		// One process-wide expvar leaf; it snapshots whichever registry a
+		// mux was most recently built over. Registered lazily so processes
+		// that never serve diagnostics never publish it.
+		expvar.Publish("hcd", expvar.Func(func() any { return currentExpvarRegistry().Snapshot() }))
+	})
+	setExpvarRegistry(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var (
+	expvarMu  sync.Mutex
+	expvarReg *Registry
+)
+
+func setExpvarRegistry(r *Registry) {
+	expvarMu.Lock()
+	expvarReg = r
+	expvarMu.Unlock()
+}
+
+func currentExpvarRegistry() *Registry {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	return expvarReg
+}
+
+// Serve starts an HTTP server for NewMux(r) on addr in a background
+// goroutine and returns it once the listener is bound (so ":0" callers can
+// read the final address from Server.Addr). Shut it down with
+// Server.Close/Shutdown.
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

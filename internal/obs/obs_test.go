@@ -1,0 +1,434 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	cctx, child := StartSpan(ctx, "child")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+	_, sib := StartSpan(ctx, "sibling")
+	sib.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root has parent %d, want 0", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %d, want root id %d", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Errorf("grandchild parent = %d, want child id %d", byName["grandchild"].Parent, byName["child"].ID)
+	}
+	if byName["sibling"].Parent != byName["root"].ID {
+		t.Errorf("sibling parent = %d, want root id %d", byName["sibling"].Parent, byName["root"].ID)
+	}
+	if err := tr.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestSpanEndIdempotentAndCheck(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "once")
+	sp.End()
+	sp.End() // second End must not double-decrement the open count
+	if err := tr.Check(); err != nil {
+		t.Fatalf("Check after double End: %v", err)
+	}
+
+	_, open := StartSpan(ctx, "left-open")
+	if err := tr.Check(); err == nil {
+		t.Fatal("Check passed with an unclosed span")
+	} else if !strings.Contains(err.Error(), "left-open") {
+		t.Fatalf("Check error %q does not name the unclosed span", err)
+	}
+	open.End()
+	if err := tr.Check(); err != nil {
+		t.Fatalf("Check after closing: %v", err)
+	}
+}
+
+func TestSpanSurvivesPanic(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	func() {
+		defer func() { _ = recover() }()
+		_, sp := StartSpan(ctx, "panicky")
+		defer sp.End()
+		panic("boom")
+	}()
+	if err := tr.Check(); err != nil {
+		t.Fatalf("deferred End did not close the span across a panic: %v", err)
+	}
+}
+
+// chromeTrace is the decoded shape of WriteChromeTrace output.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string          `json:"name"`
+		Ph   string          `json:"ph"`
+		Ts   float64         `json:"ts"`
+		Dur  float64         `json:"dur"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "solve")
+	root.Arg("outcome", "converged")
+	root.Arg("final_residual", 1.5e-9)
+	root.Arg("weird\"name", math.Inf(1))
+	tr.Instant("fault/solver/matvec-nan")
+	tr.Counter("residual", 0.25)
+	_, inner := StartSpan(ctx, "attempt")
+	inner.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	if phases["X"] != 2 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Fatalf("event phases = %v, want 2 X, 1 i, 1 C", phases)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		var args map[string]any
+		if err := json.Unmarshal(ev.Args, &args); err != nil {
+			t.Fatalf("span %q args not an object: %v", ev.Name, err)
+		}
+		if _, ok := args["id"]; !ok {
+			t.Fatalf("span %q args missing id: %v", ev.Name, args)
+		}
+	}
+
+	// A nil tracer still writes a valid (empty) document.
+	buf.Reset()
+	var nilT *Tracer
+	if err := nilT.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer trace invalid: %v", err)
+	}
+}
+
+func TestWriteChromeTraceOpenSpan(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "still-running")
+	time.Sleep(time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace with open span invalid: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Dur <= 0 {
+		t.Fatalf("open span exported with dur %v, want > 0", doc.TraceEvents)
+	}
+	sp.End()
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hcd_test_total").Add(3)
+	r.Counter("hcd_test_total").Inc()
+	if v := r.Counter("hcd_test_total").Value(); v != 4 {
+		t.Fatalf("counter = %d, want 4", v)
+	}
+	r.Gauge("hcd_test_gauge").Set(2.5)
+	if v := r.Gauge("hcd_test_gauge").Value(); v != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", v)
+	}
+	h := r.Histogram("hcd_test_hist", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 555.5 {
+		t.Fatalf("hist sum = %v, want 555.5", h.Sum())
+	}
+	snap := r.Snapshot()
+	if snap["hcd_test_total"] != 4 || snap["hcd_test_hist_count"] != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap["hcd_test_hist_bucket_10"] != 1 {
+		t.Fatalf("bucket(10) = %v, want 1 (non-cumulative)", snap["hcd_test_hist_bucket_10"])
+	}
+}
+
+func TestRegistryConcurrentCountsExact(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hcd_parallel_total")
+			h := r.Histogram("hcd_parallel_hist", []float64{0.5})
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("hcd_parallel_total").Value(); v != workers*each {
+		t.Fatalf("counter = %d, want %d", v, workers*each)
+	}
+	h := r.Histogram("hcd_parallel_hist", nil)
+	if h.Count() != workers*each || h.Sum() != float64(workers*each) {
+		t.Fatalf("hist count=%d sum=%v, want %d", h.Count(), h.Sum(), workers*each)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`hcd_build_stage_ns_total{stage="sparsify"}`).Add(42)
+	r.Counter(`hcd_build_stage_ns_total{stage="rebind"}`).Add(7)
+	r.Gauge("hcd_evaluate_last_phi").Set(0.25)
+	r.Histogram("hcd_residual", []float64{1e-8, 1}).Observe(1e-9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE hcd_build_stage_ns_total counter",
+		`hcd_build_stage_ns_total{stage="sparsify"} 42`,
+		`hcd_build_stage_ns_total{stage="rebind"} 7`,
+		"# TYPE hcd_evaluate_last_phi gauge",
+		"hcd_evaluate_last_phi 0.25",
+		"# TYPE hcd_residual histogram",
+		`hcd_residual_bucket{le="1e-08"} 1`,
+		`hcd_residual_bucket{le="+Inf"} 1`,
+		"hcd_residual_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The TYPE header for a labelled family must appear exactly once.
+	if n := strings.Count(out, "# TYPE hcd_build_stage_ns_total"); n != 1 {
+		t.Errorf("family typed %d times, want once", n)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hcd_a_total").Inc()
+	r.Gauge("hcd_g").Set(1.5)
+	r.Histogram("hcd_h", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Sum     float64          `json:"sum"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["hcd_a_total"] != 1 || doc.Gauges["hcd_g"] != 1.5 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Histograms["hcd_h"].Count != 1 || doc.Histograms["hcd_h"].Buckets["1"] != 1 {
+		t.Fatalf("histogram = %+v", doc.Histograms["hcd_h"])
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every handle and receiver must be inert at nil: this test passing at
+	// all (no panic) is the assertion.
+	var tr *Tracer
+	tr.Instant("x")
+	tr.Counter("x", 1)
+	if tr.Spans() != nil || tr.Check() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	var sp *Span
+	sp.End()
+	sp.Arg("k", "v")
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, nsp := StartSpan(context.Background(), "noop")
+	if nsp != nil || ctx != context.Background() {
+		t.Fatal("StartSpan without tracer must return ctx unchanged and nil span")
+	}
+	if TracerFrom(nil) != nil || RegistryFrom(nil) != nil || SpanFrom(nil) != nil {
+		t.Fatal("nil-ctx lookups must return nil")
+	}
+}
+
+// TestDisabledPathAllocs pins the zero-allocation guarantee of the disabled
+// layer: with no tracer or registry installed, span starts, metric lookups,
+// and observer-free iteration cost no heap allocations — the property that
+// preserves the engine's zero-alloc warm solves.
+func TestDisabledPathAllocs(t *testing.T) {
+	ctx := context.Background()
+	var nilReg *Registry
+	var nilHist *Histogram
+	var nilSpan *Span
+	allocs := testing.AllocsPerRun(200, func() {
+		c2, sp := StartSpan(ctx, "solve/pcg")
+		sp.End()
+		_ = c2
+		_ = TracerFrom(ctx)
+		nilReg.Counter("hcd_solve_total").Inc()
+		nilReg.Gauge("hcd_solve_last_iterations").Set(1)
+		nilHist.Observe(1e-9)
+		nilSpan.Arg("k", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestObservers(t *testing.T) {
+	var buf bytes.Buffer
+	StreamResiduals(&buf).ObserveIteration(3, 1.25e-4)
+	if got := buf.String(); got != "3 1.250000e-04\n" {
+		t.Fatalf("stream line = %q", got)
+	}
+	r := NewRegistry()
+	HistogramResiduals(r, "hcd_res").ObserveIteration(1, 1e-9)
+	if r.Histogram("hcd_res", nil).Count() != 1 {
+		t.Fatal("histogram observer did not record")
+	}
+	tr := NewTracer()
+	TraceResiduals(tr, "residual").ObserveIteration(1, 0.5)
+	var tb bytes.Buffer
+	if err := tr.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), `"ph":"C"`) {
+		t.Fatal("trace observer did not emit a counter event")
+	}
+	// Nil components are skipped, including inside MultiObserver.
+	HistogramResiduals(nil, "x").ObserveIteration(1, 1)
+	TraceResiduals(nil, "x").ObserveIteration(1, 1)
+	n := 0
+	MultiObserver(nil, ObserverFunc(func(int, float64) { n++ }), nil).ObserveIteration(1, 1)
+	if n != 1 {
+		t.Fatalf("multi observer fan-out = %d, want 1", n)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hcd_http_total").Inc()
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "hcd_http_total 1") || !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics = %q (%s)", body, ctype)
+	}
+	body, _ = get("/metrics.json")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, `"hcd"`) {
+		t.Fatalf("/debug/vars missing hcd leaf: %q", body)
+	}
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

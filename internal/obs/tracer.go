@@ -1,0 +1,272 @@
+// Package obs is the unified observability core of the hcd reproduction: a
+// hierarchical span tracer with Chrome trace_event export, a registry of
+// atomic counters/gauges/histograms with JSON and Prometheus text-exposition
+// encoders, residual-streaming iteration observers for the solver cores, and
+// HTTP endpoints (/metrics, /debug/pprof, expvar) for long-running processes.
+//
+// The package has no dependencies outside the standard library, and the
+// entire layer is free when unused: a tracer and a registry travel in a
+// context.Context, every instrumented call site does a plain Value lookup
+// that returns nil when nothing was installed, and all span/metric methods
+// are no-ops on nil receivers. The disabled path performs zero heap
+// allocations (asserted by TestDisabledPathAllocs), which preserves the
+// solver engine's zero-alloc warm-solve guarantee and the Evaluate hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of timed spans plus instant and counter events, all
+// against one monotonic clock (time.Since of the tracer's birth, so spans
+// are immune to wall-clock steps). A Tracer is safe for concurrent use; the
+// zero value is not usable — construct with NewTracer. A nil *Tracer is the
+// documented disabled state: every method is a cheap no-op.
+type Tracer struct {
+	mu     sync.Mutex
+	base   time.Time
+	events []event
+	open   int
+	nextID uint64
+}
+
+// event is one recorded trace entry. Spans are 'X' (complete) events whose
+// duration is filled in by Span.End; instants are 'i', counters are 'C'.
+type event struct {
+	name   string
+	ph     byte
+	start  time.Duration
+	dur    time.Duration
+	id     uint64
+	parent uint64
+	tid    uint64
+	args   []Arg
+	value  float64 // counter events
+	open   bool    // span started but not yet ended
+}
+
+// Arg is one key/value annotation on a span.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// NewTracer starts an empty trace; the moment of the call is time zero of
+// the trace clock.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Span is one open (or ended) interval in a trace. The zero of the API is
+// nil: StartSpan returns a nil *Span when no tracer is installed, and every
+// Span method is a no-op on nil, so call sites need no enabled-checks.
+type Span struct {
+	t   *Tracer
+	idx int
+	id  uint64
+	tid uint64
+}
+
+// start opens a span under the given parent (nil for a root span).
+func (t *Tracer) start(name string, parent *Span) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	sp := &Span{t: t, idx: len(t.events), id: t.nextID, tid: 1}
+	var pid uint64
+	if parent != nil {
+		pid = parent.id
+		sp.tid = parent.tid
+	}
+	t.events = append(t.events, event{
+		name:   name,
+		ph:     'X',
+		start:  time.Since(t.base),
+		id:     sp.id,
+		parent: pid,
+		tid:    sp.tid,
+		open:   true,
+	})
+	t.open++
+	return sp
+}
+
+// End closes the span, fixing its duration. Safe to call more than once
+// (later calls are no-ops), and always safe on nil — instrumented functions
+// simply `defer sp.End()` so spans close on every exit path, panics
+// included.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := &t.events[s.idx]
+	if !ev.open {
+		return
+	}
+	ev.dur = time.Since(t.base) - ev.start
+	ev.open = false
+	t.open--
+}
+
+// Arg annotates the span with a key/value pair, rendered into the Chrome
+// trace "args" object. No-op on nil.
+func (s *Span) Arg(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	ev := &s.t.events[s.idx]
+	ev.args = append(ev.args, Arg{Key: key, Value: value})
+}
+
+// Instant records a zero-duration marker event (e.g. an injected-fault hit).
+// No-op on nil.
+func (t *Tracer) Instant(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, event{name: name, ph: 'i', start: time.Since(t.base), tid: 1})
+}
+
+// Counter records a sampled numeric series point (Chrome renders 'C' events
+// as a per-name area chart — the natural encoding of a residual history).
+// No-op on nil.
+func (t *Tracer) Counter(name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, event{name: name, ph: 'C', start: time.Since(t.base), tid: 1, value: value})
+}
+
+// SpanInfo is the introspection view of one recorded span, for tests and
+// well-formedness checks.
+type SpanInfo struct {
+	Name     string
+	ID       uint64
+	Parent   uint64 // 0 for root spans
+	Start    time.Duration
+	Duration time.Duration
+	Open     bool
+	Args     []Arg
+}
+
+// Spans returns the recorded spans in start order. No-op (nil result) on a
+// nil tracer.
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanInfo
+	for _, ev := range t.events {
+		if ev.ph != 'X' {
+			continue
+		}
+		out = append(out, SpanInfo{
+			Name: ev.name, ID: ev.id, Parent: ev.parent,
+			Start: ev.start, Duration: ev.dur, Open: ev.open,
+			Args: append([]Arg(nil), ev.args...),
+		})
+	}
+	return out
+}
+
+// Check verifies the well-formedness of the recorded span tree: every span
+// ended, and every non-root span's parent recorded. It returns an error
+// naming the offending spans otherwise. Nil tracers trivially pass.
+func (t *Tracer) Check() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make(map[uint64]bool, len(t.events))
+	for _, ev := range t.events {
+		if ev.ph == 'X' {
+			ids[ev.id] = true
+		}
+	}
+	for _, ev := range t.events {
+		if ev.ph != 'X' {
+			continue
+		}
+		if ev.open {
+			return fmt.Errorf("obs: span %q (id %d) was never ended", ev.name, ev.id)
+		}
+		if ev.parent != 0 && !ids[ev.parent] {
+			return fmt.Errorf("obs: span %q (id %d) has unknown parent %d", ev.name, ev.id, ev.parent)
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace encodes the trace in Chrome trace_event JSON (the format
+// of chrome://tracing and https://ui.perfetto.dev): one "X" complete event
+// per span with microsecond timestamps, plus instant and counter events.
+// Span parentage is carried both structurally (nesting by time containment
+// per tid) and explicitly in args.parent. Open spans are exported with their
+// current duration, so a trace of a cancelled run is still viewable.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	// Copy under lock; format outside it.
+	events := make([]event, len(t.events))
+	copy(events, t.events)
+	now := time.Since(t.base)
+	t.mu.Unlock()
+
+	// Sort by start time so time-containment nesting is stable in viewers.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].start < events[j].start })
+
+	var b []byte
+	b = append(b, `{"displayTimeUnit":"ms","traceEvents":[`...)
+	for i, ev := range events {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		us := float64(ev.start) / float64(time.Microsecond)
+		switch ev.ph {
+		case 'X':
+			dur := ev.dur
+			if ev.open {
+				dur = now - ev.start
+			}
+			b = appendf(b, `{"name":%s,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{`,
+				quote(ev.name), us, float64(dur)/float64(time.Microsecond), ev.tid)
+			b = appendf(b, `"id":%d,"parent":%d`, ev.id, ev.parent)
+			for _, a := range ev.args {
+				b = appendf(b, `,%s:%s`, quote(a.Key), jsonValue(a.Value))
+			}
+			b = append(b, `}}`...)
+		case 'i':
+			b = appendf(b, `{"name":%s,"ph":"i","s":"g","ts":%.3f,"pid":1,"tid":%d}`,
+				quote(ev.name), us, ev.tid)
+		case 'C':
+			b = appendf(b, `{"name":%s,"ph":"C","ts":%.3f,"pid":1,"tid":%d,"args":{"value":%s}}`,
+				quote(ev.name), us, ev.tid, jsonValue(ev.value))
+		}
+	}
+	b = append(b, `]}`...)
+	_, err := w.Write(b)
+	return err
+}
+
+func appendf(b []byte, format string, args ...any) []byte {
+	return fmt.Appendf(b, format, args...)
+}

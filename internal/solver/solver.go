@@ -37,6 +37,7 @@ import (
 	"hcd/internal/dense"
 	"hcd/internal/faultinject"
 	"hcd/internal/graph"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 )
 
@@ -131,6 +132,13 @@ type Options struct {
 	// iteration number (1-based) and the current residual norm. It runs on
 	// the solve goroutine; keep it cheap.
 	Progress func(iter int, residual float64)
+	// Observer, when non-nil, receives the same per-iteration stream as
+	// Progress through the obs.IterationObserver interface — the streaming
+	// alternative to the post-hoc Residuals copy. Compose several with
+	// obs.MultiObserver (e.g. a live writer plus a registry histogram plus
+	// a trace counter series). It runs on the solve goroutine; keep it
+	// cheap.
+	Observer obs.IterationObserver
 
 	// DivergenceTol is the divergence guard: the solve stops with
 	// OutcomeDiverged when ‖r‖ exceeds DivergenceTol·‖b‖. Zero selects the
@@ -304,9 +312,16 @@ func PCGCtx(ctx context.Context, a Operator, m Preconditioner, b []float64, opt 
 // including worker panics surfaced by internal/par — is returned as an
 // error carrying the panicking goroutine's stack.
 func pcgCore(ctx context.Context, a Operator, m Preconditioner, b []float64, opt Options, s *scratch) (res Result, err error) {
+	ctx, sp := obs.StartSpan(ctx, "solve/pcg")
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("solver: panic during solve: %w", par.AsError(v))
+		}
+		annotateSolveSpan(sp, &res)
+		sp.End()
+		if reg := obs.RegistryFrom(ctx); reg != nil {
+			res.Metrics.Publish(reg)
+			publishOutcome(reg, "pcg", res.Outcome)
 		}
 	}()
 	res, err = pcgIter(ctx, a, m, b, opt, s, 0)
@@ -404,6 +419,8 @@ func pcgIter(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 	if stagEps <= 0 {
 		stagEps = 1e-3
 	}
+	_, sp := obs.StartSpan(ctx, "solve/attempt")
+	defer sp.End()
 	startAllocs := s.allocs
 	x := s.vec(&s.x, n)
 	r := s.vec(&s.r, n)
@@ -444,6 +461,7 @@ func pcgIter(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 	if normB == 0 || normB <= 1e-13*rawNorm || normB <= opt.Tol*refNorm {
 		res.Outcome = OutcomeConverged
 		finishSolve(&res, s, start, time.Time{}, startAllocs)
+		annotateSolveSpan(sp, &res)
 		return res, nil
 	}
 	m.Apply(z, r)
@@ -487,6 +505,9 @@ func pcgIter(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 		res.Iterations = iter + 1
 		if opt.Progress != nil {
 			opt.Progress(res.Iterations, rn)
+		}
+		if opt.Observer != nil {
+			opt.Observer.ObserveIteration(res.Iterations, rn)
 		}
 		// Guards, in severity order. The non-finite check comes first: NaN
 		// compares false against every threshold, so the convergence and
@@ -532,7 +553,27 @@ func pcgIter(ctx context.Context, a Operator, m Preconditioner, b []float64, opt
 		rz = rzNew
 	}
 	finishSolve(&res, s, start, iterStart, startAllocs)
+	annotateSolveSpan(sp, &res)
 	return res, nil
+}
+
+// annotateSolveSpan stamps the termination summary onto a solve span; the
+// nil-span fast path keeps the disabled-tracing case free of the boxing
+// allocations the Arg calls would otherwise perform.
+func annotateSolveSpan(sp *obs.Span, res *Result) {
+	if sp == nil {
+		return
+	}
+	sp.Arg("outcome", res.Outcome.String())
+	sp.Arg("iterations", res.Iterations)
+	sp.Arg("matvecs", res.Metrics.MatVecs)
+	sp.Arg("final_residual", res.Metrics.FinalResidual)
+	if res.Metrics.Restarts > 0 {
+		sp.Arg("restarts", res.Metrics.Restarts)
+	}
+	if res.Reason != "" {
+		sp.Arg("reason", res.Reason)
+	}
 }
 
 // finite reports whether every entry of x is finite. Only runs on the rare
@@ -597,9 +638,16 @@ func ChebyshevCtx(ctx context.Context, a Operator, m Preconditioner, b []float64
 }
 
 func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float64, lmin, lmax float64, opt Options, s *scratch) (res Result, err error) {
+	ctx, sp := obs.StartSpan(ctx, "solve/chebyshev")
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("solver: panic during solve: %w", par.AsError(v))
+		}
+		annotateSolveSpan(sp, &res)
+		sp.End()
+		if reg := obs.RegistryFrom(ctx); reg != nil {
+			res.Metrics.Publish(reg)
+			publishOutcome(reg, "chebyshev", res.Outcome)
 		}
 	}()
 	start := time.Now()
@@ -684,6 +732,9 @@ func chebyshevCore(ctx context.Context, a Operator, m Preconditioner, b []float6
 		res.Iterations = k + 1
 		if opt.Progress != nil {
 			opt.Progress(res.Iterations, rn)
+		}
+		if opt.Observer != nil {
+			opt.Observer.ObserveIteration(res.Iterations, rn)
 		}
 		if math.IsNaN(rn) || math.IsInf(rn, 0) {
 			res.Outcome = OutcomeBreakdown

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hcd/internal/hierarchy"
+	"hcd/internal/obs"
 	"hcd/internal/solver"
 )
 
@@ -93,6 +94,26 @@ type ResilienceReport struct {
 	Rung string
 }
 
+// Publish counts the ladder's attempts into the registry under the
+// hcd_resilient_* namespace, one labelled series per (rung, outcome) pair.
+// SolveResilient calls it automatically when a registry travels in the
+// solve context (WithMetricRegistry); nil registries are no-ops.
+func (r ResilienceReport) Publish(reg *MetricRegistry) {
+	if reg == nil {
+		return
+	}
+	for _, a := range r.Attempts {
+		reg.Counter(`hcd_resilient_attempts_total{rung="` + a.Rung + `",outcome="` + a.Outcome.String() + `"}`).Inc()
+	}
+	reg.Counter("hcd_resilient_solves_total").Inc()
+	if r.Recovered {
+		reg.Counter("hcd_resilient_recovered_total").Inc()
+	}
+	if r.Rung == "" {
+		reg.Counter("hcd_resilient_failed_total").Inc()
+	}
+}
+
 // String renders the attempt trail on one line per rung.
 func (r ResilienceReport) String() string {
 	s := ""
@@ -128,11 +149,29 @@ func SolveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOp
 	if opt.ReseedTries == 0 {
 		opt.ReseedTries = 2
 	}
+	ctx, lsp := obs.StartSpan(ctx, "resilient/solve")
 	var (
 		report ResilienceReport
 		last   SolveResult
 		a      = solver.LapOperator(g)
 	)
+	defer func() {
+		if lsp != nil {
+			lsp.Arg("attempts", len(report.Attempts))
+			lsp.Arg("rung", report.Rung)
+			lsp.Arg("recovered", report.Recovered)
+		}
+		lsp.End()
+		report.Publish(obs.RegistryFrom(ctx))
+	}()
+	// startRung opens the span of one ladder rung (build plus solve); the
+	// disabled path materializes no name string.
+	startRung := func(rung string) (context.Context, *obs.Span) {
+		if obs.TracerFrom(ctx) == nil {
+			return ctx, nil
+		}
+		return obs.StartSpan(ctx, "resilient/rung/"+rung)
+	}
 	record := func(rung string, res SolveResult, err error, dur time.Duration) bool {
 		at := SolveAttempt{
 			Rung:          rung,
@@ -159,9 +198,9 @@ func SolveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOp
 		}
 		return false
 	}
-	tryPCG := func(rung string, m Preconditioner) (bool, error) {
+	tryPCG := func(sctx context.Context, rung string, m Preconditioner) (bool, error) {
 		start := time.Now()
-		res, err := solver.PCGCtx(ctx, a, m, b, opt.Solve)
+		res, err := solver.PCGCtx(sctx, a, m, b, opt.Solve)
 		done := record(rung, res, err, time.Since(start))
 		if done {
 			return true, nil
@@ -174,14 +213,20 @@ func SolveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOp
 
 	// [1] Hierarchy-preconditioned PCG.
 	start := time.Now()
-	h, err := hierarchy.NewCtx(ctx, g, opt.Hierarchy)
+	rctx, rsp := startRung(RungHierarchyPCG)
+	h, err := hierarchy.NewCtx(rctx, g, opt.Hierarchy)
 	if err != nil {
+		rsp.End()
 		record(RungHierarchyPCG, SolveResult{}, fmt.Errorf("hierarchy build: %w", err), time.Since(start))
 		if ctx.Err() != nil {
 			return last, report, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", RungHierarchyPCG, ctx.Err())
 		}
-	} else if done, cerr := tryPCG(RungHierarchyPCG, h); done || cerr != nil {
-		return last, report, cerr
+	} else {
+		done, cerr := tryPCG(rctx, RungHierarchyPCG, h)
+		rsp.End()
+		if done || cerr != nil {
+			return last, report, cerr
+		}
 	}
 
 	// [2] Rebuilt hierarchies under fresh randomized seeds: a bad draw of
@@ -192,21 +237,28 @@ func SolveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOp
 		// every level's Seed+level sequence.
 		hopt.Seed = opt.Hierarchy.Seed + int64(try+1)*1000003
 		start := time.Now()
-		h, err := hierarchy.NewCtx(ctx, g, hopt)
+		rctx, rsp := startRung(RungReseededPCG)
+		h, err := hierarchy.NewCtx(rctx, g, hopt)
 		if err != nil {
+			rsp.End()
 			record(RungReseededPCG, SolveResult{}, fmt.Errorf("hierarchy rebuild (seed %d): %w", hopt.Seed, err), time.Since(start))
 			if ctx.Err() != nil {
 				return last, report, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", RungReseededPCG, ctx.Err())
 			}
 			continue
 		}
-		if done, cerr := tryPCG(RungReseededPCG, h); done || cerr != nil {
+		done, cerr := tryPCG(rctx, RungReseededPCG, h)
+		rsp.End()
+		if done || cerr != nil {
 			return last, report, cerr
 		}
 	}
 
 	// [3] Unpreconditioned CG.
-	if done, cerr := tryPCG(RungCG, nil); done || cerr != nil {
+	rctx, rsp = startRung(RungCG)
+	done, cerr := tryPCG(rctx, RungCG, nil)
+	rsp.End()
+	if done || cerr != nil {
 		return last, report, cerr
 	}
 
@@ -224,17 +276,20 @@ func SolveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOp
 	}
 	jac := JacobiPreconditioner(g)
 	lmin, lmax := 1e-4, 2.0
-	probe, perr := solver.PCGCtx(ctx, a, jac, b, solver.Options{Tol: 1e-12, MaxIter: 40, ProjectMean: opt.Solve.ProjectMean})
+	rctx, rsp = startRung(RungChebyshev)
+	probe, perr := solver.PCGCtx(rctx, a, jac, b, solver.Options{Tol: 1e-12, MaxIter: 40, ProjectMean: opt.Solve.ProjectMean})
 	if perr == nil && len(probe.Alphas) > 0 {
 		if lo, hi, serr := solver.SpectrumEstimate(probe.Alphas, probe.Betas); serr == nil && lo > 0 {
 			lmin, lmax = 0.5*lo, 1.25*hi
 		}
 	}
 	if ctx.Err() != nil {
+		rsp.End()
 		return last, report, fmt.Errorf("hcd: resilient solve cancelled at rung %s: %w", RungChebyshev, ctx.Err())
 	}
 	start = time.Now()
-	res, err := solver.ChebyshevCtx(ctx, a, jac, b, lmin, lmax, cheb)
+	res, err := solver.ChebyshevCtx(rctx, a, jac, b, lmin, lmax, cheb)
+	rsp.End()
 	if record(RungChebyshev, res, err, time.Since(start)) {
 		return last, report, nil
 	}

@@ -122,6 +122,9 @@ type ChebyshevOptions struct {
 	WidenLow   float64 // multiplier on the λmin estimate (default 0.8)
 	WidenHigh  float64 // multiplier on the λmax estimate (default 1.2)
 	Tol        float64 // optional early-exit tolerance (0 = run all Iters)
+	// Observer, when non-nil, receives the Chebyshev iteration's residual
+	// norms as they are computed (the bootstrap probe is not streamed).
+	Observer IterationObserver
 }
 
 // DefaultChebyshevOptions returns the historical settings: a 40-iteration
@@ -178,7 +181,7 @@ func SolveChebyshevCtx(ctx context.Context, g *Graph, b []float64, m Preconditio
 		return ChebyshevResult{}, err
 	}
 	res, err := solver.ChebyshevCtx(ctx, a, m, b, lmin*opt.WidenLow, lmax*opt.WidenHigh,
-		solver.Options{MaxIter: opt.Iters, ProjectMean: true, Tol: opt.Tol})
+		solver.Options{MaxIter: opt.Iters, ProjectMean: true, Tol: opt.Tol, Observer: opt.Observer})
 	if err != nil {
 		return ChebyshevResult{}, err
 	}
