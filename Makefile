@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-decomp bench-json vet fmt check race race-solver selfcheck chaos fuzz experiments fig6 coverage
+.PHONY: all build test bench bench-decomp bench-json vet fmt check race race-solver selfcheck chaos fuzz server-smoke experiments fig6 coverage
 
 all: build test
 
@@ -18,8 +18,9 @@ vet:
 
 # check is the pre-merge gate: vet, the full suite under the race detector
 # (the parallel solver kernels run with GOMAXPROCS > 1 in tests), a short
-# fuzz pass over the input parsers, and the fault-recovery chaos battery.
-check: vet race fuzz chaos
+# fuzz pass over the input parsers, the fault-recovery chaos battery, and
+# the serving-stack smoke battery.
+check: vet race fuzz chaos server-smoke
 
 race:
 	$(GO) test -race ./...
@@ -38,6 +39,12 @@ bench:
 # parallel Evaluate and the unified DecomposeCtx path.
 bench-decomp:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate|BenchmarkDecomposePipeline' -benchmem .
+
+# server-smoke: the in-process serving battery — submit/build/solve round
+# trip, cache-hit and single-build invariants, LRU eviction, and per-tenant
+# 429 + Retry-After overload isolation.
+server-smoke:
+	$(GO) run ./cmd/hcd-server -smoke
 
 selfcheck:
 	$(GO) run ./cmd/hcd-selfcheck -rounds 25

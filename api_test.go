@@ -174,7 +174,10 @@ func TestTreePreconditioner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+		res, err := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !res.Converged {
 			t.Fatalf("base %d: tree-PCG did not converge (%d iters)", base, res.Iterations)
 		}
@@ -207,8 +210,8 @@ func TestPreconditionerLadder(t *testing.T) {
 		t.Fatal(err)
 	}
 	it := func(p hcd.Preconditioner) int {
-		res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
-		if !res.Converged {
+		res, err := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+		if err != nil || !res.Converged {
 			return 1 << 30
 		}
 		return res.Iterations
@@ -233,7 +236,10 @@ func TestGridSubgraphPreconditioner(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(5))
 	b := meanFree(rng, g.N())
-	res := hcd.SolvePCG(g, b, sub.P, hcd.DefaultSolveOptions())
+	res, err := hcd.SolvePCG(g, b, sub.P, hcd.DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Converged {
 		t.Errorf("miniaturized subgraph PCG did not converge (%d iters)", res.Iterations)
 	}

@@ -48,8 +48,8 @@ func BenchmarkFig6SteinerPCG(b *testing.B) {
 	rhs := benchRHS(g.N(), 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := hcd.SolvePCG(g, rhs, p, hcd.DefaultSolveOptions())
-		if !res.Converged {
+		res, err := hcd.SolvePCG(g, rhs, p, hcd.DefaultSolveOptions())
+		if err != nil || !res.Converged {
 			b.Fatal("not converged")
 		}
 	}
@@ -67,8 +67,8 @@ func BenchmarkFig6SubgraphPCG(b *testing.B) {
 	rhs := benchRHS(g.N(), 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := hcd.SolvePCG(g, rhs, sub.P, hcd.DefaultSolveOptions())
-		if !res.Converged {
+		res, err := hcd.SolvePCG(g, rhs, sub.P, hcd.DefaultSolveOptions())
+		if err != nil || !res.Converged {
 			b.Fatal("not converged")
 		}
 	}
@@ -195,8 +195,8 @@ func BenchmarkHierarchySolveOCT(b *testing.B) {
 	rhs := benchRHS(g.N(), 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := hcd.SolvePCG(g, rhs, h, hcd.DefaultSolveOptions())
-		if !res.Converged {
+		res, err := hcd.SolvePCG(g, rhs, h, hcd.DefaultSolveOptions())
+		if err != nil || !res.Converged {
 			b.Fatal("not converged")
 		}
 	}
@@ -254,7 +254,10 @@ func benchPCGCores(b *testing.B, procs int) {
 	m := hcd.JacobiPreconditioner(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := hcd.SolvePCG(g, rhs, m, opt)
+		res, err := hcd.SolvePCG(g, rhs, m, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.Iterations != 60 {
 			b.Fatalf("expected 60 iterations, ran %d (%v)", res.Iterations, res.Outcome)
 		}

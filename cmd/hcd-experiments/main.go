@@ -143,8 +143,8 @@ func e1() {
 	subOpt.ExtraFraction = 0.12
 	sub := must(hcd.NewSubgraphPreconditioner(g, subOpt, g.N()))
 	opt := hcd.DefaultSolveOptions()
-	sres := hcd.SolvePCG(g, b, sp, opt)
-	gres := hcd.SolvePCG(g, b, sub.P, opt)
+	sres := must(hcd.SolvePCG(g, b, sp, opt))
+	gres := must(hcd.SolvePCG(g, b, sub.P, opt))
 	t := cli.NewTable("preconditioner", "reduction", "iterations", "converged", "res[10]/res[0]")
 	t.Row("steiner", float64(g.N())/float64(d.Count), sres.Iterations, sres.Converged, rat(sres.Residuals, 10))
 	t.Row("subgraph", float64(g.N())/float64(sub.CoreSize), gres.Iterations, gres.Converged, rat(gres.Residuals, 10))
@@ -306,7 +306,7 @@ func e8() {
 	for _, side := range sides {
 		g := hcd.OCT3D(side, side, side, hcd.DefaultOCTOptions())
 		h := must(hcd.NewHierarchy(g, hcd.DefaultHierarchyOptions()))
-		res := hcd.SolvePCG(g, cli.MeanFreeRHS(g.N(), 9), h, hcd.DefaultSolveOptions())
+		res := must(hcd.SolvePCG(g, cli.MeanFreeRHS(g.N(), 9), h, hcd.DefaultSolveOptions()))
 		t.Row(side, g.N(), h.Depth(), res.Iterations, res.Converged)
 		report(fmt.Sprintf("hierarchy %d³", side), res.Metrics)
 	}
@@ -373,14 +373,14 @@ func a5() {
 	g := hcd.Grid3DAnisotropic(12, 12, 12, 1, 1, 1000)
 	b := cli.MeanFreeRHS(g.N(), 29)
 	t := cli.NewTable("preconditioner", "PCG iters", "converged")
-	jr := hcd.SolvePCG(g, b, hcd.JacobiPreconditioner(g), hcd.DefaultSolveOptions())
+	jr := must(hcd.SolvePCG(g, b, hcd.JacobiPreconditioner(g), hcd.DefaultSolveOptions()))
 	t.Row("jacobi", jr.Iterations, jr.Converged)
 	d := must(hcd.DecomposeFixedDegree(g, 4, 1))
 	sp := must(hcd.NewSteinerPreconditioner(d))
-	sr := hcd.SolvePCG(g, b, sp, hcd.DefaultSolveOptions())
+	sr := must(hcd.SolvePCG(g, b, sp, hcd.DefaultSolveOptions()))
 	t.Row("steiner (heaviest-edge clusters)", sr.Iterations, sr.Converged)
 	h := must(hcd.NewHierarchy(g, hcd.DefaultHierarchyOptions()))
-	hr := hcd.SolvePCG(g, b, h, hcd.DefaultSolveOptions())
+	hr := must(hcd.SolvePCG(g, b, h, hcd.DefaultSolveOptions()))
 	t.Row("steiner hierarchy", hr.Iterations, hr.Converged)
 	fmt.Print(t)
 	report("jacobi", jr.Metrics)
@@ -432,7 +432,7 @@ func a1() {
 		res := must(hcd.DecomposePlanar(g, opt))
 		rep := hcd.Evaluate(res.D)
 		sub := must(hcd.NewSubgraphPreconditioner(g, opt, g.N()))
-		sres := hcd.SolvePCG(g, b, sub.P, hcd.DefaultSolveOptions())
+		sres := must(hcd.SolvePCG(g, b, sub.P, hcd.DefaultSolveOptions()))
 		t.Row(base.name, rep.Phi, rep.Rho, res.AvgStretch, sres.Iterations)
 	}
 	fmt.Print(t)
@@ -453,7 +453,7 @@ func a4() {
 			log.Fatal(err)
 		}
 		el := time.Since(start)
-		res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+		res := must(hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions()))
 		t.Row(name, el.Round(time.Millisecond), size, float64(g.N())/float64(size), res.Iterations)
 	}
 	run("subgraph (monolithic tree)", func() (hcd.Preconditioner, int, error) {
@@ -514,7 +514,7 @@ func a3() {
 		rep := hcd.Evaluate(d)
 		p := must(hcd.NewSteinerPreconditioner(d))
 		nums := must(hcd.MeasureSupport(g, p, cli.MeanFreeRHS(g.N(), rng.Int63()), 60))
-		res := hcd.SolvePCG(g, cli.MeanFreeRHS(g.N(), rng.Int63()), p, hcd.DefaultSolveOptions())
+		res := must(hcd.SolvePCG(g, cli.MeanFreeRHS(g.N(), rng.Int63()), p, hcd.DefaultSolveOptions()))
 		t.Row(k, d.Count, rep.Rho, rep.Phi, nums.Kappa, res.Iterations)
 	}
 	fmt.Print(t)

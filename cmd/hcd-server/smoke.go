@@ -1,0 +1,154 @@
+package main
+
+// The -smoke battery: an in-process end-to-end exercise of the serving
+// stack, used by `make server-smoke` and CI. It spins up two servers on
+// loopback listeners — one with default admission for the caching checks,
+// one with a starved token bucket for the overload checks — and fails on
+// the first broken invariant:
+//
+//  1. submit → build → solve round trip converges
+//  2. a second solve against the cached handle is a cache hit (counter
+//     serve_handle_cache_hits advances; no hierarchy rebuild)
+//  3. DELETE evicts; a solve against the evicted handle 404s
+//  4. a saturated tenant gets 429 + Retry-After while a second tenant on
+//     the same server keeps solving undisturbed
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"hcd/internal/serve"
+)
+
+type smokeClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *smokeClient) do(method, path, tenant string, body any) (int, map[string]any, http.Header, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) > 0 {
+		_ = json.Unmarshal(raw, &out)
+	}
+	return resp.StatusCode, out, resp.Header, nil
+}
+
+func runSmoke() error {
+	fmt.Println("smoke: caching path")
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &smokeClient{base: ts.URL, hc: ts.Client()}
+
+	// 1. Submit and build synchronously, then solve.
+	code, body, _, err := c.do("POST", "/v1/graphs?spec=grid3d:10&wait=true", "", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated || body["status"] != "ready" {
+		return fmt.Errorf("smoke: submit: code %d body %v", code, body)
+	}
+	id := body["id"].(string)
+	solve := map[string]any{"rhs": 1, "seed": 3}
+	code, body, _, err = c.do("POST", "/v1/graphs/"+id+"/solve", "", solve)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("smoke: first solve: code %d body %v", code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 1 || results[0].(map[string]any)["converged"] != true {
+		return fmt.Errorf("smoke: first solve did not converge: %v", results)
+	}
+
+	// 2. Second solve: must be a cache hit, no rebuild.
+	before := srv.Registry().Counter("serve_handle_cache_hits").Value()
+	code, body, _, err = c.do("POST", "/v1/graphs/"+id+"/solve", "", solve)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || body["cache_hit"] != true {
+		return fmt.Errorf("smoke: second solve not a cache hit: code %d body %v", code, body)
+	}
+	if after := srv.Registry().Counter("serve_handle_cache_hits").Value(); after <= before {
+		return fmt.Errorf("smoke: serve_handle_cache_hits did not advance (%d -> %d)", before, after)
+	}
+	if builds := srv.Registry().Counter(`serve_builds_total{outcome="ok"}`).Value(); builds != 1 {
+		return fmt.Errorf("smoke: expected exactly 1 hierarchy build, saw %d", builds)
+	}
+	fmt.Println("smoke: cache hit confirmed, single build")
+
+	// 3. Evict; the handle must be gone.
+	if code, body, _, err = c.do("DELETE", "/v1/graphs/"+id, "", nil); err != nil || code != http.StatusNoContent {
+		return fmt.Errorf("smoke: delete: code %d body %v err %v", code, body, err)
+	}
+	if code, _, _, err = c.do("POST", "/v1/graphs/"+id+"/solve", "", solve); err != nil || code != http.StatusNotFound {
+		return fmt.Errorf("smoke: solve after delete: code %d err %v (want 404)", code, err)
+	}
+	fmt.Println("smoke: eviction confirmed")
+
+	// 4. Overload isolation: a starved bucket (2-token burst, negligible
+	// refill, no queue) throttles tenant "noisy" on its third request while
+	// tenant "quiet" keeps its own full bucket.
+	fmt.Println("smoke: admission path")
+	srv2 := serve.New(serve.Config{
+		Admission: serve.AdmissionConfig{Rate: 1e-9, Burst: 2, MaxQueue: 0},
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	c2 := &smokeClient{base: ts2.URL, hc: ts2.Client()}
+	code, body, _, err = c2.do("POST", "/v1/graphs?spec=grid2d:12&wait=true", "", nil)
+	if err != nil || code != http.StatusCreated {
+		return fmt.Errorf("smoke: admission submit: code %d err %v", code, err)
+	}
+	id2 := body["id"].(string)
+	for i := 0; i < 2; i++ {
+		code, body, _, err = c2.do("POST", "/v1/graphs/"+id2+"/solve", "noisy", solve)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("smoke: noisy solve %d: code %d body %v err %v", i, code, body, err)
+		}
+	}
+	code, body, hdr, err := c2.do("POST", "/v1/graphs/"+id2+"/solve", "noisy", solve)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusTooManyRequests {
+		return fmt.Errorf("smoke: saturated tenant: code %d body %v (want 429)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		return fmt.Errorf("smoke: 429 missing Retry-After header")
+	}
+	code, body, _, err = c2.do("POST", "/v1/graphs/"+id2+"/solve", "quiet", solve)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("smoke: quiet tenant degraded by noisy: code %d body %v err %v", code, body, err)
+	}
+	fmt.Println("smoke: 429 + Retry-After on saturation; other tenant unaffected")
+	fmt.Println("smoke: PASS")
+	return nil
+}

@@ -1,5 +1,7 @@
 // Command hcd-solve solves a graph Laplacian system A·x = b on a generated
-// workload with a selectable preconditioner and reports convergence.
+// workload with a selectable preconditioner and reports convergence. It is a
+// thin front end over hcd.Do — the same request path the hcd-server solve
+// handlers execute.
 //
 // Usage:
 //
@@ -84,13 +86,20 @@ func run() (err error) {
 		ropt.Hierarchy.SizeCap = *k
 		ropt.Hierarchy.Seed = *seed
 		solveStart := time.Now()
-		res, rep, rerr := hcd.SolveResilient(ctx, g, b, ropt)
+		resp, rerr := hcd.Do(ctx, g, hcd.SolveRequest{
+			B: [][]float64{b}, Method: hcd.SolveMethodResilient, Resilience: ropt,
+		})
 		solveTime := time.Since(solveStart)
 		fmt.Printf("graph: %s  n=%d m=%d\n", *graphSpec, g.N(), g.M())
+		if len(resp.Resilience) == 0 {
+			return rerr
+		}
+		rep := resp.Resilience[len(resp.Resilience)-1]
 		fmt.Printf("ladder: %s\n", rep.String())
 		if rerr != nil {
 			return rerr
 		}
+		res := resp.Results[len(resp.Results)-1]
 		fmt.Printf("rung: %s  recovered: %v\n", rep.Rung, rep.Recovered)
 		fmt.Printf("outcome: %s  iterations: %d  solve: %v\n", res.Outcome, res.Iterations, solveTime)
 		if *metrics {
@@ -100,73 +109,53 @@ func run() (err error) {
 		return nil
 	}
 
+	// Build the preconditioner up front (rather than letting Do build it
+	// from the spec) so build and solve wall times report separately and
+	// the hierarchy's level profile can be printed.
+	spec := hcd.PrecondSpec{Kind: hcd.PrecondKind(*precond), SizeCap: *k, Seed: *seed}
 	buildStart := time.Now()
-	var m hcd.Preconditioner
-	switch *precond {
-	case "none":
-		m = nil
-	case "jacobi":
-		m = hcd.JacobiPreconditioner(g)
-	case "steiner":
-		d, derr := hcd.DecomposeFixedDegree(g, *k, *seed)
-		if derr != nil {
-			return derr
-		}
-		m, err = hcd.NewSteinerPreconditioner(d)
-	case "subgraph":
-		var res *hcd.SubgraphResult
-		res, err = hcd.NewSubgraphPreconditioner(g, hcd.DefaultPlanarOptions(), g.N())
-		if err == nil {
-			m = res.P
-		}
-	case "tree":
-		m, err = hcd.NewTreePreconditioner(g, hcd.MaxWeightTree, *seed)
-	case "hierarchy":
-		opt := hcd.DefaultHierarchyOptions()
-		opt.SizeCap = *k
-		opt.Seed = *seed
-		var h *hcd.Hierarchy
-		h, err = hcd.NewHierarchyCtx(ctx, g, opt)
-		if err == nil {
-			fmt.Printf("hierarchy levels: %v\n", h.LevelSizes())
-			m = h
-		}
-	default:
-		return fmt.Errorf("unknown preconditioner %q", *precond)
-	}
+	m, err := hcd.NewPreconditioner(ctx, g, spec)
 	if err != nil {
 		return err
 	}
 	buildTime := time.Since(buildStart)
+	if h, ok := m.(*hcd.Hierarchy); ok {
+		fmt.Printf("hierarchy levels: %v\n", h.LevelSizes())
+	}
 
 	opt := hcd.DefaultSolveOptions()
 	opt.Tol = *tol
 	opt.Observer = observer
-	solveStart := time.Now()
-	var res hcd.SolveResult
-	if *method == "chebyshev" {
+	req := hcd.SolveRequest{
+		B: [][]float64{b}, M: m, Options: opt,
+		Precond: hcd.PrecondSpec{Kind: hcd.PrecondNone},
+	}
+	switch *method {
+	case "chebyshev":
 		if m == nil {
-			m = hcd.JacobiPreconditioner(g)
+			req.M = hcd.JacobiPreconditioner(g)
 		}
+		req.Method = hcd.SolveMethodChebyshev
 		copt := hcd.DefaultChebyshevOptions(*chebIters)
 		copt.Tol = *tol
 		copt.Observer = observer
-		cres, cerr := hcd.SolveChebyshevCtx(ctx, g, b, m, copt)
-		if cerr != nil {
-			return cerr
-		}
-		fmt.Printf("chebyshev spectrum estimate: [%.4g, %.4g]\n", cres.Lmin, cres.Lmax)
-		res = cres.SolveResult
-	} else {
-		if m == nil {
-			m = identity{n: g.N()}
-		}
-		res, err = hcd.SolvePCGCtx(ctx, g, b, m, opt)
-		if err != nil {
-			return err
-		}
+		req.Chebyshev = copt
+	case "pcg", "":
+		req.Method = hcd.SolveMethodPCG
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	solveStart := time.Now()
+	resp, err := hcd.Do(ctx, g, req)
+	if err != nil {
+		return err
 	}
 	solveTime := time.Since(solveStart)
+	res := resp.Results[len(resp.Results)-1]
+	if req.Method == hcd.SolveMethodChebyshev {
+		fmt.Printf("chebyshev spectrum estimate: [%.4g, %.4g]\n", resp.Lmin, resp.Lmax)
+	}
 
 	fmt.Printf("graph: %s  n=%d m=%d\n", *graphSpec, g.N(), g.M())
 	fmt.Printf("preconditioner: %s  build: %v\n", *precond, buildTime)
@@ -205,8 +194,3 @@ func printMetrics(m hcd.SolveMetrics) {
 	fmt.Printf("metrics: setup=%v iterate=%v total=%v scratch-allocs=%d final-residual=%.3g\n",
 		m.SetupTime, m.IterTime, m.TotalTime, m.ScratchAllocs, m.FinalResidual)
 }
-
-type identity struct{ n int }
-
-func (i identity) Dim() int               { return i.n }
-func (i identity) Apply(dst, r []float64) { copy(dst, r) }

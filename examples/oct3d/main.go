@@ -31,7 +31,10 @@ func main() {
 		}
 		buildTime := time.Since(start)
 		start = time.Now()
-		res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+		res, err := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-22s build %-12v solve %-12v iters %-5d converged %v\n",
 			name, buildTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
 			res.Iterations, res.Converged)

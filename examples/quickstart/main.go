@@ -33,7 +33,10 @@ func main() {
 		log.Fatal(err)
 	}
 	b := randomRHS(g.N())
-	res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+	res, err := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("PCG: converged=%v in %d iterations (‖r‖ %.2e → %.2e)\n",
 		res.Converged, res.Iterations,
 		res.Residuals[0], res.Residuals[len(res.Residuals)-1])

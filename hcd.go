@@ -11,10 +11,10 @@
 // Quick start:
 //
 //	g, _ := hcd.NewGraph(n, edges)
-//	d, _ := hcd.DecomposeFixedDegree(g, 4, 1)   // [φ, 2] clustering
-//	rep := hcd.Evaluate(d)                       // measured φ, ρ, γ
-//	p, _ := hcd.NewSteinerPreconditioner(d)      // Section 3 preconditioner
-//	res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+//	r, _ := hcd.DecomposeCtx(ctx, g, hcd.DefaultDecomposeOptions(hcd.MethodFixedDegree))
+//	rep := hcd.Evaluate(r.D)                     // measured φ, ρ, γ
+//	p, _ := hcd.NewSteinerPreconditioner(r.D)    // Section 3 preconditioner
+//	res, _ := hcd.SolvePCGCtx(ctx, g, b, p, hcd.DefaultSolveOptions())
 //
 // Every decomposition method is also reachable through the unified
 // context-aware pipeline, which reports per-stage build metrics and honors
@@ -73,6 +73,9 @@ type CertStats = graph.CertStats
 // DecomposeTree computes the Theorem 2.1 decomposition of a tree or forest:
 // ρ ≥ 6/5 and every closure conductance ≥ 1/3 (measured ≥ 1/2 on typical
 // weights; see EXPERIMENTS.md E3 on the constant).
+//
+// Deprecated: use DecomposeCtx with MethodTree, which adds cancellation and
+// per-stage build metrics.
 func DecomposeTree(g *Graph) (*Decomposition, error) {
 	res, err := DecomposeCtx(context.Background(), g,
 		DecomposeOptions{Method: MethodTree, SkipReport: true})
@@ -84,6 +87,8 @@ func DecomposeTree(g *Graph) (*Decomposition, error) {
 
 // DecomposeTreeParallel is DecomposeTree with the per-bridge case analysis
 // fanned out across cores; results are identical to DecomposeTree.
+//
+// Deprecated: use DecomposeCtx with MethodTree and Parallel: true.
 func DecomposeTreeParallel(g *Graph) (*Decomposition, error) {
 	res, err := DecomposeCtx(context.Background(), g,
 		DecomposeOptions{Method: MethodTree, Parallel: true, SkipReport: true})
@@ -130,6 +135,8 @@ func MergeSingletons(d *Decomposition, minPhi float64) (*Decomposition, int) {
 // DecomposeFixedDegree computes the Section 3.1 clustering: perturb, keep
 // per-vertex heaviest edges, split the forest into clusters of ≈ sizeCap.
 // Every cluster has ≥ 2 vertices, so ρ ≥ 2.
+//
+// Deprecated: use DecomposeCtx with MethodFixedDegree.
 func DecomposeFixedDegree(g *Graph, sizeCap int, seed int64) (*Decomposition, error) {
 	res, err := DecomposeCtx(context.Background(), g,
 		DecomposeOptions{Method: MethodFixedDegree, SizeCap: sizeCap, Seed: seed, SkipReport: true})
@@ -177,6 +184,8 @@ type PlanarResult struct {
 // rebind the clustering to g. It applies to any graph; the planarity (or
 // minor-freeness, Theorem 2.3, via LowStretchTree) only affects the
 // provable constants.
+//
+// Deprecated: use DecomposeCtx with MethodPlanar.
 func DecomposePlanar(g *Graph, opt PlanarOptions) (*PlanarResult, error) {
 	res, err := DecomposeCtx(context.Background(), g, DecomposeOptions{
 		Method: MethodPlanar, Base: opt.Base,
@@ -194,6 +203,8 @@ func DecomposePlanar(g *Graph, opt PlanarOptions) (*PlanarResult, error) {
 
 // DecomposeMinorFree runs the Theorem 2.3 variant: the same pipeline on a
 // low-stretch base tree.
+//
+// Deprecated: use DecomposeCtx with MethodMinorFree.
 func DecomposeMinorFree(g *Graph, seed int64) (*PlanarResult, error) {
 	opt := DefaultDecomposeOptions(MethodMinorFree)
 	opt.Seed = seed
@@ -234,6 +245,8 @@ func DefaultSpectralCutOptions() SpectralCutOptions { return spectralcut.Default
 // introduction contrasts with its bottom-up constructions: an eigensolve
 // per split and no reduction-factor guarantee, but direct control of the
 // conductance target.
+//
+// Deprecated: use DecomposeCtx with MethodSpectral.
 func DecomposeSpectral(g *Graph, opt SpectralCutOptions) (*Decomposition, SpectralCutStats, error) {
 	res, err := DecomposeCtx(context.Background(), g,
 		DecomposeOptions{Method: MethodSpectral, Spectral: opt, SkipReport: true})

@@ -52,7 +52,10 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(2))
 	b := meanFree(rng, g.N())
-	res := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+	res, err := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Converged {
 		t.Fatalf("not converged after %d iterations", res.Iterations)
 	}
@@ -152,8 +155,11 @@ func TestSteinerVsSubgraphFigure6Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := hcd.DefaultSolveOptions()
-	sres := hcd.SolvePCG(g, b, steinerP, opt)
-	gres := hcd.SolvePCG(g, b, subRes.P, opt)
+	sres, serr := hcd.SolvePCG(g, b, steinerP, opt)
+	gres, gerr := hcd.SolvePCG(g, b, subRes.P, opt)
+	if serr != nil || gerr != nil {
+		t.Fatalf("solve errors: steiner=%v subgraph=%v", serr, gerr)
+	}
 	if !sres.Converged || !gres.Converged {
 		t.Fatalf("convergence: steiner=%v subgraph=%v", sres.Converged, gres.Converged)
 	}

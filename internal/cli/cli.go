@@ -40,10 +40,11 @@ func BuildGraph(spec string, seed int64) (*graph.Graph, error) {
 			return nil, err
 		}
 		defer f.Close()
-		if kind == "file" {
-			return gio.ReadEdgeList(f)
+		format := gio.FormatEdgeList
+		if kind == "mm" {
+			format = gio.FormatMatrixMarket
 		}
-		return gio.ReadMatrixMarket(f)
+		return gio.Read(f, format)
 	}
 	var a, b int
 	switch kind {

@@ -45,6 +45,29 @@ const (
 	MaxEntries = 1 << 28
 )
 
+// Format names accepted by Read. "edgelist" is the plain text format,
+// "mm" (alias "matrixmarket") the MatrixMarket coordinate format.
+const (
+	FormatEdgeList     = "edgelist"
+	FormatMatrixMarket = "mm"
+)
+
+// Read parses a graph from r in the named format — the single wire-format
+// dispatch shared by the CLI's file:/mm: specs and the hcd-server graph
+// submission endpoint. An empty format defaults to the edge-list format;
+// unknown formats return an error wrapping graph.ErrInvalidInput.
+func Read(r io.Reader, format string) (*graph.Graph, error) {
+	switch format {
+	case "", FormatEdgeList:
+		return ReadEdgeList(r)
+	case FormatMatrixMarket, "matrixmarket":
+		return ReadMatrixMarket(r)
+	default:
+		return nil, fmt.Errorf("gio: unknown graph format %q (want %q or %q): %w",
+			format, FormatEdgeList, FormatMatrixMarket, graph.ErrInvalidInput)
+	}
+}
+
 // badInput builds a line-numbered parse error wrapping graph.ErrInvalidInput,
 // so callers can distinguish malformed input (errors.Is) from I/O failures.
 func badInput(line int, format string, args ...interface{}) error {

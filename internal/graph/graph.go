@@ -233,6 +233,14 @@ func (g *Graph) Edges() []Edge {
 	return es
 }
 
+// Bytes estimates the resident memory of the graph: the CSR offset,
+// adjacency, weight and volume arrays. It is an accounting figure (used by
+// the serving layer's byte-budgeted handle cache), not an exact heap
+// measurement.
+func (g *Graph) Bytes() int64 {
+	return int64(8 * (len(g.off) + len(g.adj) + len(g.w) + len(g.vol)))
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{

@@ -176,6 +176,26 @@ func (h *Hierarchy) LevelSizes() []int {
 	return append(sizes, h.coarseG.N())
 }
 
+// MemoryBytes estimates the resident size of the hierarchy: every level's
+// graph, clustering and work buffers, plus the dense coarse factorization.
+// It is the accounting figure behind the serving layer's byte-budgeted
+// handle cache, not an exact heap measurement.
+func (h *Hierarchy) MemoryBytes() int64 {
+	var b int64
+	for _, l := range h.levels {
+		b += l.G.Bytes()
+		b += 8 * int64(len(l.dInv)+len(l.order)+len(l.start)+len(l.rq)+len(l.xq)+len(l.tmp)+len(l.tmp2))
+		// The clustering's assignment vector.
+		b += 8 * int64(l.G.N())
+	}
+	if h.coarseG != nil {
+		cn := int64(h.coarseG.N())
+		b += h.coarseG.Bytes() + 8*cn*cn
+	}
+	b += 8 * int64(len(h.cbuf))
+	return b
+}
+
 // Dim returns the fine-level dimension.
 func (h *Hierarchy) Dim() int {
 	if len(h.levels) == 0 {

@@ -1,0 +1,401 @@
+package serve
+
+// The HTTP surface. Routes (Go 1.22 method+wildcard patterns):
+//
+//	POST   /v1/graphs            submit a graph; hierarchy builds async
+//	GET    /v1/graphs            list cached handles
+//	GET    /v1/graphs/{id}       poll one handle's build status
+//	POST   /v1/graphs/{id}/solve solve against the cached hierarchy
+//	DELETE /v1/graphs/{id}       evict a handle
+//
+// plus the PR-5 diagnostics mux (/metrics, /metrics.json, /debug/vars,
+// /debug/pprof/*) mounted on the same server. Tenancy is declared with the
+// X-Tenant header (absent = "default"); solve requests pass per-tenant
+// token-bucket admission before touching an engine.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hcd"
+	"hcd/internal/cli"
+	"hcd/internal/gio"
+	"hcd/internal/obs"
+)
+
+// apiError is the wire form of every non-2xx response.
+type apiError struct {
+	Error  string `json:"error"`
+	Status string `json:"status,omitempty"` // handle status for 409s
+}
+
+// submitResponse answers POST /v1/graphs.
+type submitResponse struct {
+	ID     string       `json:"id"`
+	Status HandleStatus `json:"status"`
+	N      int          `json:"n"`
+	M      int          `json:"m"`
+}
+
+// solveRequest is the wire form of POST /v1/graphs/{id}/solve. Right-hand
+// sides come either inline (B) or generated server-side (RHS mean-free
+// random vectors from Seed) — the latter keeps smoke tests and benchmarks
+// free of megabyte request bodies.
+type solveRequest struct {
+	B    [][]float64 `json:"b,omitempty"`
+	RHS  int         `json:"rhs,omitempty"`
+	Seed int64       `json:"seed,omitempty"`
+	// Method: "pcg" (default), "chebyshev", or "resilient" (the opt-in
+	// fallback ladder; builds its own preconditioners, skipping the pool).
+	Method         string  `json:"method,omitempty"`
+	Tol            float64 `json:"tol,omitempty"`
+	MaxIter        int     `json:"max_iter,omitempty"`
+	ChebyshevIters int     `json:"chebyshev_iters,omitempty"`
+	// IncludeX returns the solution vectors (large!); default is summary only.
+	IncludeX bool `json:"include_x,omitempty"`
+	// Wait blocks the solve until the hierarchy build finishes instead of
+	// failing fast with 409.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// solveResult is one right-hand side's outcome on the wire.
+type solveResult struct {
+	Outcome       string    `json:"outcome"`
+	Converged     bool      `json:"converged"`
+	Iterations    int       `json:"iterations"`
+	FinalResidual float64   `json:"final_residual"`
+	X             []float64 `json:"x,omitempty"`
+	Rung          string    `json:"rung,omitempty"`
+	Recovered     bool      `json:"recovered,omitempty"`
+}
+
+// solveResponse answers POST /v1/graphs/{id}/solve.
+type solveResponse struct {
+	GraphID     string        `json:"graph_id"`
+	Results     []solveResult `json:"results"`
+	Lmin        float64       `json:"lmin,omitempty"`
+	Lmax        float64       `json:"lmax,omitempty"`
+	CacheHit    bool          `json:"cache_hit"`
+	QueueWaitMS int64         `json:"queue_wait_ms"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/graphs", s.wrap("submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/graphs", s.wrap("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.wrap("status", s.handleStatus))
+	s.mux.HandleFunc("POST /v1/graphs/{id}/solve", s.wrap("solve", s.handleSolve))
+	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.wrap("delete", s.handleDelete))
+	om := obs.NewMux(s.reg)
+	s.mux.Handle("/metrics", om)
+	s.mux.Handle("/metrics.json", om)
+	s.mux.Handle("/debug/", om)
+}
+
+// wrap applies the common request plumbing: drain refusal, in-flight
+// accounting, observability context, a per-request span, and the
+// serve_requests_total / serve_request_seconds series.
+func (s *Server) wrap(route string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			counter(s.reg, metricDrainRefused)
+			w.Header().Set("Connection", "close")
+			writeErr(w, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		gaugeAdd(s.reg, metricInflight, 1)
+		defer gaugeAdd(s.reg, metricInflight, -1)
+
+		ctx := r.Context()
+		if s.tr != nil {
+			ctx = obs.WithTracer(ctx, s.tr)
+		}
+		if s.reg != nil {
+			ctx = obs.WithRegistry(ctx, s.reg)
+		}
+		ctx, sp := obs.StartSpan(ctx, "serve/"+route)
+		defer sp.End()
+		sp.Arg("method", r.Method)
+		sp.Arg("path", r.URL.Path)
+		sp.Arg("tenant", tenant(r))
+
+		counter(s.reg, metricRequests+`{route="`+route+`"}`)
+		start := time.Now()
+		fn(w, r.WithContext(ctx))
+		observe(s.reg, metricRequestTime+`{route="`+route+`"}`, time.Since(start))
+	}
+}
+
+func tenant(r *http.Request) string {
+	return safeLabel(r.Header.Get("X-Tenant"))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit ingests a graph and starts its hierarchy build. The graph
+// arrives either in the request body (?format=edgelist|mm, the gio formats)
+// or generated server-side from a workload spec (?spec=grid3d:12 — the CLI
+// generator grammar). ?sizecap= and ?seed= tune the hierarchy build;
+// ?wait=true blocks until the build finishes.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var g *hcd.Graph
+	var err error
+	if spec := q.Get("spec"); spec != "" {
+		seed := int64(1)
+		if v := q.Get("seed"); v != "" {
+			seed, _ = strconv.ParseInt(v, 10, 64)
+		}
+		g, err = cli.BuildGraph(spec, seed)
+	} else {
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		g, err = gio.Read(body, q.Get("format"))
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+
+	var hopt *hcd.HierarchyOptions
+	if q.Has("sizecap") || q.Has("seed") {
+		o := s.cfg.Hierarchy
+		if v, perr := strconv.Atoi(q.Get("sizecap")); perr == nil && v >= 2 {
+			o.SizeCap = v
+		}
+		if v, perr := strconv.ParseInt(q.Get("seed"), 10, 64); perr == nil && v != 0 {
+			o.Seed = v
+		}
+		hopt = &o
+	}
+
+	h, err := s.store.Put(g, hopt)
+	if err != nil {
+		code := http.StatusInsufficientStorage
+		if !errors.Is(err, ErrNoCapacity) {
+			code = http.StatusInternalServerError
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	if q.Get("wait") == "true" {
+		select {
+		case <-h.ready:
+		case <-r.Context().Done():
+			writeErr(w, http.StatusRequestTimeout, "wait cancelled: %v", r.Context().Err())
+			return
+		}
+	}
+	info, err := s.store.Info(h.id)
+	if err != nil {
+		// Evicted between Put and Info — only possible under a byte budget
+		// so tight the build itself overflowed it.
+		writeErr(w, http.StatusInsufficientStorage, "handle evicted during build")
+		return
+	}
+	writeJSON(w, http.StatusCreated, submitResponse{ID: h.id, Status: info.Status, N: g.N(), M: g.M()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Info(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSolve runs one solve request against a cached hierarchy: admission
+// first (429 + Retry-After on overload), then handle resolution (409 while
+// building unless wait), then an engine checkout from the warm pool, then
+// hcd.Do — the same implementation the CLI uses.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	id := r.PathValue("id")
+	ten := tenant(r)
+
+	var req solveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad solve request: %v", err)
+		return
+	}
+	nrhs := len(req.B)
+	if nrhs == 0 {
+		nrhs = req.RHS
+		if nrhs <= 0 {
+			nrhs = 1
+		}
+	}
+
+	// Admission: one token per right-hand side.
+	waited, err := s.adm.Acquire(ctx, ten, float64(nrhs))
+	var over *OverloadError
+	if errors.As(err, &over) {
+		counter(s.reg, metricThrottled+`{tenant="`+ten+`"}`)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(over.RetryAfter.Seconds()))))
+		writeErr(w, http.StatusTooManyRequests, "%v", over)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusRequestTimeout, "admission wait cancelled: %v", err)
+		return
+	}
+	counter(s.reg, metricAdmitted+`{tenant="`+ten+`"}`)
+	observe(s.reg, metricQueueWait, waited)
+
+	h, release, err := s.store.Get(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer release()
+
+	status, hier, pool, buildErr := s.store.solveState(h)
+	cacheHit := status == StatusReady
+	if status == StatusBuilding {
+		if !req.Wait {
+			counter(s.reg, metricCacheMisses)
+			writeJSON(w, http.StatusConflict, apiError{
+				Error: ErrBuilding.Error(), Status: string(StatusBuilding),
+			})
+			return
+		}
+		counter(s.reg, metricCacheMisses)
+		select {
+		case <-h.ready:
+		case <-ctx.Done():
+			writeErr(w, http.StatusRequestTimeout, "build wait cancelled: %v", ctx.Err())
+			return
+		}
+		status, hier, pool, buildErr = s.store.solveState(h)
+	}
+	if status == StatusFailed {
+		writeErr(w, http.StatusUnprocessableEntity, "hierarchy build failed: %v", buildErr)
+		return
+	}
+	if cacheHit {
+		counter(s.reg, metricCacheHits)
+	}
+
+	b := req.B
+	if len(b) == 0 {
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		b = make([][]float64, nrhs)
+		for i := range b {
+			b[i] = cli.MeanFreeRHS(h.g.N(), seed+int64(i))
+		}
+	}
+
+	opt := hcd.DefaultSolveOptions()
+	if req.Tol > 0 {
+		opt.Tol = req.Tol
+	}
+	if req.MaxIter > 0 {
+		opt.MaxIter = req.MaxIter
+	}
+	doReq := hcd.SolveRequest{B: b, Options: opt, M: hier}
+	switch req.Method {
+	case "", "pcg":
+		doReq.Method = hcd.SolveMethodPCG
+		eng, perr := pool.acquire(ctx)
+		if perr != nil {
+			writeErr(w, http.StatusRequestTimeout, "engine wait cancelled: %v", perr)
+			return
+		}
+		defer pool.release(eng)
+		doReq.Engine = eng
+	case "chebyshev":
+		doReq.Method = hcd.SolveMethodChebyshev
+		iters := req.ChebyshevIters
+		if iters <= 0 {
+			iters = 120
+		}
+		copt := hcd.DefaultChebyshevOptions(iters)
+		copt.Tol = opt.Tol
+		doReq.Chebyshev = copt
+	case "resilient":
+		doReq.Method = hcd.SolveMethodResilient
+		ropt := hcd.DefaultResilienceOptions()
+		ropt.Solve = opt
+		doReq.Resilience = ropt
+		doReq.M = nil // the ladder builds its own rungs
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown method %q", req.Method)
+		return
+	}
+
+	start := time.Now()
+	resp, err := hcd.Do(ctx, h.g, doReq)
+	observe(s.reg, metricSolveTime, time.Since(start))
+	s.store.CountSolve(h)
+	for _, res := range resp.Results {
+		counter(s.reg, metricSolves+`{outcome="`+res.Outcome.String()+`"}`)
+	}
+	if err != nil && len(resp.Results) == 0 {
+		writeErr(w, http.StatusInternalServerError, "solve failed: %v", err)
+		return
+	}
+
+	out := solveResponse{
+		GraphID:     id,
+		CacheHit:    cacheHit,
+		QueueWaitMS: waited.Milliseconds(),
+		Lmin:        resp.Lmin,
+		Lmax:        resp.Lmax,
+	}
+	for i, res := range resp.Results {
+		sr := solveResult{
+			Outcome:       res.Outcome.String(),
+			Converged:     res.Converged,
+			Iterations:    res.Iterations,
+			FinalResidual: res.Metrics.FinalResidual,
+		}
+		if req.IncludeX {
+			sr.X = res.X
+		}
+		if i < len(resp.Resilience) {
+			sr.Rung = resp.Resilience[i].Rung
+			sr.Recovered = resp.Resilience[i].Recovered
+		}
+		out.Results = append(out.Results, sr)
+	}
+	code := http.StatusOK
+	if err != nil {
+		// Partial failure: report what completed plus the error.
+		writeJSON(w, http.StatusInternalServerError, struct {
+			solveResponse
+			Error string `json:"error"`
+		}{out, err.Error()})
+		return
+	}
+	writeJSON(w, code, out)
+}

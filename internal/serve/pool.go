@@ -1,0 +1,101 @@
+package serve
+
+// Warm engine pools. An hcd.Engine owns preallocated work buffers and is not
+// safe for concurrent use, so each graph handle keeps a small pool of them:
+// solves check an engine out, run, and return it. Engines are built lazily —
+// the first PoolSize concurrent solves each pay one engine construction, and
+// everything after reuses warm sessions (zero steady-state allocation in the
+// iteration).
+
+import (
+	"context"
+	"sync/atomic"
+
+	"hcd"
+	"hcd/internal/obs"
+)
+
+// engineGauges aggregates engine counts across every pool on a server so
+// the serve_engines/serve_engines_busy gauges reflect the whole process.
+type engineGauges struct {
+	live atomic.Int64
+	busy atomic.Int64
+	reg  *obs.Registry
+}
+
+func (g *engineGauges) addLive(d int64) {
+	if g == nil {
+		return
+	}
+	gaugeSet(g.reg, metricEnginesLive, float64(g.live.Add(d)))
+}
+
+func (g *engineGauges) addBusy(d int64) {
+	if g == nil {
+		return
+	}
+	gaugeSet(g.reg, metricEnginesBusy, float64(g.busy.Add(d)))
+}
+
+type enginePool struct {
+	g    *hcd.Graph
+	h    *hcd.Hierarchy
+	size int
+	idle chan *hcd.Engine
+	// built counts constructed engines; it only grows, up to size.
+	built  atomic.Int32
+	gauges *engineGauges
+}
+
+func newEnginePool(g *hcd.Graph, h *hcd.Hierarchy, size int, gauges *engineGauges) *enginePool {
+	if size < 1 {
+		size = 1
+	}
+	return &enginePool{g: g, h: h, size: size, idle: make(chan *hcd.Engine, size), gauges: gauges}
+}
+
+// acquire returns a warm engine, building one if the pool has not reached
+// its size yet, or blocking until a checkout returns. Cancellation while
+// blocked returns ctx.Err().
+func (p *enginePool) acquire(ctx context.Context) (*hcd.Engine, error) {
+	select {
+	case e := <-p.idle:
+		p.gauges.addBusy(1)
+		return e, nil
+	default:
+	}
+	for {
+		n := p.built.Load()
+		if n >= int32(p.size) {
+			break
+		}
+		if p.built.CompareAndSwap(n, n+1) {
+			e, err := hcd.NewEngine(p.g, p.h, hcd.DefaultSolveOptions())
+			if err != nil {
+				p.built.Add(-1)
+				return nil, err
+			}
+			p.gauges.addLive(1)
+			p.gauges.addBusy(1)
+			return e, nil
+		}
+	}
+	select {
+	case e := <-p.idle:
+		p.gauges.addBusy(1)
+		return e, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns an engine to the pool.
+func (p *enginePool) release(e *hcd.Engine) {
+	p.gauges.addBusy(-1)
+	p.idle <- e
+}
+
+// drop retires the pool's engines from the live gauge (handle eviction).
+func (p *enginePool) drop() {
+	p.gauges.addLive(-int64(p.built.Load()))
+}

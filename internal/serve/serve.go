@@ -1,0 +1,123 @@
+// Package serve implements solve-as-a-service over the hcd library: an HTTP
+// server that caches submitted graphs with their multilevel Steiner
+// hierarchies (the expensive artifact), keeps pools of warm solve engines
+// per graph, and gates solve traffic through per-tenant token-bucket
+// admission control. The handlers execute the same hcd.Do request path as
+// the CLI tools — the server adds caching, pooling, and tenancy, not a
+// second solver.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"hcd"
+	"hcd/internal/obs"
+)
+
+// Config tunes a Server. The zero value serves with the defaults noted on
+// each field.
+type Config struct {
+	// MaxHandles caps cached graphs (default 32); inserting past it evicts
+	// the least recently used idle handle.
+	MaxHandles int
+	// MaxBytes budgets the cached graphs + hierarchies in bytes
+	// (default 1 GiB).
+	MaxBytes int64
+	// PoolSize is the number of warm engines kept per ready handle
+	// (default 2) — the solve concurrency one graph sustains without
+	// engine rebuilds.
+	PoolSize int
+	// MaxBodyBytes bounds request bodies (default 256 MiB).
+	MaxBodyBytes int64
+	// Hierarchy is the default build configuration; per-submit query
+	// parameters override it. Zero value = hcd.DefaultHierarchyOptions.
+	Hierarchy hcd.HierarchyOptions
+	// Admission tunes the per-tenant token buckets.
+	Admission AdmissionConfig
+	// Registry receives the serve_* metric family (nil = a fresh registry;
+	// it also backs the mounted /metrics endpoints).
+	Registry *obs.Registry
+	// Tracer, when non-nil, records per-request and build spans.
+	Tracer *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxHandles <= 0 {
+		c.MaxHandles = 32
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 1 << 30
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.Hierarchy == (hcd.HierarchyOptions{}) {
+		c.Hierarchy = hcd.DefaultHierarchyOptions()
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the solve-as-a-service front end. Create with New, expose with
+// Handler, retire with Drain.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	tr    *obs.Tracer
+	store *store
+	adm   *admission
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: cfg.Registry,
+		tr:  cfg.Tracer,
+		adm: newAdmission(cfg.Admission),
+		mux: http.NewServeMux(),
+	}
+	s.store = newStore(cfg.MaxHandles, cfg.MaxBytes, cfg.PoolSize, cfg.Hierarchy, s.reg, s.tr)
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler: the v1 API plus the mounted
+// diagnostics mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metric registry (the -smoke battery and tests read
+// counters directly instead of scraping /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Drain retires the server gracefully: new requests are refused with 503
+// (Connection: close) while requests already in flight run to completion.
+// It returns when the server is idle or ctx expires — pair it with
+// http.Server.Shutdown, which handles the listener side.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

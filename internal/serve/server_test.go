@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hcd/internal/obs"
+)
+
+// client is a tiny JSON test client against an httptest server.
+type client struct {
+	t    *testing.T
+	base string
+	hc   *http.Client
+}
+
+func (c *client) do(method, path, tenant string, body any) (int, map[string]any, http.Header) {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) > 0 {
+		_ = json.Unmarshal(raw, &out)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *client) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, &client{t: t, base: ts.URL, hc: ts.Client()}
+}
+
+// TestSubmitPollSolveEvict is the core lifecycle: submit a graph, poll until
+// the hierarchy is ready, solve against the cache twice (the second must be
+// a cache hit with zero build work in its trace), list, and evict.
+func TestSubmitPollSolveEvict(t *testing.T) {
+	tr := obs.NewTracer()
+	srv, c := newTestServer(t, Config{Tracer: tr})
+
+	code, body, _ := c.do("POST", "/v1/graphs?spec=grid3d:8&wait=true", "", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: code %d body %v", code, body)
+	}
+	id := body["id"].(string)
+	if body["status"] != "ready" {
+		t.Fatalf("submit with wait: status %v", body["status"])
+	}
+
+	code, body, _ = c.do("GET", "/v1/graphs/"+id, "", nil)
+	if code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("poll: code %d body %v", code, body)
+	}
+	if lv, ok := body["levels"].([]any); !ok || len(lv) == 0 {
+		t.Fatalf("poll: no hierarchy levels in %v", body)
+	}
+
+	solve := map[string]any{"rhs": 2, "seed": 5}
+	code, body, _ = c.do("POST", "/v1/graphs/"+id+"/solve", "", solve)
+	if code != http.StatusOK {
+		t.Fatalf("solve: code %d body %v", code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("solve: want 2 results, got %d", len(results))
+	}
+	for i, r := range results {
+		if r.(map[string]any)["converged"] != true {
+			t.Fatalf("solve: rhs %d did not converge: %v", i, r)
+		}
+	}
+
+	hits := srv.Registry().Counter(metricCacheHits).Value()
+	code, body, _ = c.do("POST", "/v1/graphs/"+id+"/solve", "", solve)
+	if code != http.StatusOK || body["cache_hit"] != true {
+		t.Fatalf("second solve: code %d body %v", code, body)
+	}
+	if after := srv.Registry().Counter(metricCacheHits).Value(); after <= hits {
+		t.Fatalf("cache hit counter did not advance: %d -> %d", hits, after)
+	}
+	if builds := srv.Registry().Counter(`serve_builds_total{outcome="ok"}`).Value(); builds != 1 {
+		t.Fatalf("want exactly 1 hierarchy build, got %d", builds)
+	}
+	assertNoBuildUnderSolves(t, tr)
+
+	code, body, _ = c.do("GET", "/v1/graphs", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: code %d", code)
+	}
+
+	code, _, _ = c.do("DELETE", "/v1/graphs/"+id, "", nil)
+	if code != http.StatusNoContent {
+		t.Fatalf("delete: code %d", code)
+	}
+	code, _, _ = c.do("GET", "/v1/graphs/"+id, "", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("poll after delete: code %d, want 404", code)
+	}
+}
+
+// assertNoBuildUnderSolves walks the span forest: no solve-request span may
+// have hierarchy-build work in its subtree — all builds happen under
+// root-level serve/build spans, asynchronously from requests.
+func assertNoBuildUnderSolves(t *testing.T, tr *obs.Tracer) {
+	t.Helper()
+	spans := tr.Spans()
+	children := map[uint64][]obs.SpanInfo{}
+	var solveRoots []obs.SpanInfo
+	builds := 0
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+		if s.Name == "serve/solve" {
+			solveRoots = append(solveRoots, s)
+		}
+		if s.Name == "serve/build" {
+			builds++
+			if s.Parent != 0 {
+				t.Errorf("serve/build parented at span %d, want trace root", s.Parent)
+			}
+		}
+	}
+	if len(solveRoots) == 0 {
+		t.Fatal("no serve/solve spans recorded")
+	}
+	if builds == 0 {
+		t.Fatal("no serve/build span recorded")
+	}
+	var walk func(id uint64) []string
+	walk = func(id uint64) []string {
+		var names []string
+		for _, ch := range children[id] {
+			names = append(names, ch.Name)
+			names = append(names, walk(ch.ID)...)
+		}
+		return names
+	}
+	for _, root := range solveRoots {
+		for _, name := range walk(root.ID) {
+			if strings.Contains(name, "build") {
+				t.Errorf("solve request span %d contains build-stage span %q", root.ID, name)
+			}
+		}
+	}
+}
+
+// TestSolveWhileBuilding covers the 409-vs-wait choice on a handle whose
+// hierarchy is still building.
+func TestSolveWhileBuilding(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	// A grid large enough that the async build is observably in flight.
+	code, body, _ := c.do("POST", "/v1/graphs?spec=grid3d:16", "", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: code %d body %v", code, body)
+	}
+	id := body["id"].(string)
+
+	// Fail-fast path: while the build runs a bare solve answers 409 with
+	// the building status. The build may win the race, so accept 200 too —
+	// but 409 must carry the status marker.
+	code, body, _ = c.do("POST", "/v1/graphs/"+id+"/solve", "", map[string]any{"rhs": 1})
+	switch code {
+	case http.StatusConflict:
+		if body["status"] != "building" {
+			t.Fatalf("409 without building status: %v", body)
+		}
+	case http.StatusOK:
+		// build finished first; fine
+	default:
+		t.Fatalf("solve while building: code %d body %v", code, body)
+	}
+
+	// Wait path: always succeeds once the build lands.
+	code, body, _ = c.do("POST", "/v1/graphs/"+id+"/solve", "", map[string]any{"rhs": 1, "wait": true})
+	if code != http.StatusOK {
+		t.Fatalf("solve with wait: code %d body %v", code, body)
+	}
+}
+
+// TestLRUEviction: a 2-handle store drops the least recently used handle on
+// the third submit.
+func TestLRUEviction(t *testing.T) {
+	srv, c := newTestServer(t, Config{MaxHandles: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, body, _ := c.do("POST", fmt.Sprintf("/v1/graphs?spec=grid2d:%d&wait=true", 8+i), "", nil)
+		if code != http.StatusCreated {
+			t.Fatalf("submit %d: code %d body %v", i, code, body)
+		}
+		ids = append(ids, body["id"].(string))
+	}
+	if code, _, _ := c.do("GET", "/v1/graphs/"+ids[0], "", nil); code != http.StatusNotFound {
+		t.Fatalf("oldest handle not evicted: code %d", code)
+	}
+	for _, id := range ids[1:] {
+		if code, _, _ := c.do("GET", "/v1/graphs/"+id, "", nil); code != http.StatusOK {
+			t.Fatalf("handle %s evicted unexpectedly: code %d", id, code)
+		}
+	}
+	if ev := srv.Registry().Counter(metricEvictions).Value(); ev != 1 {
+		t.Fatalf("want 1 eviction, got %d", ev)
+	}
+}
+
+// TestConcurrentClients hammers one cached handle from many goroutines —
+// engines come from the warm pool, and under -race this doubles as the
+// serving stack's data-race check.
+func TestConcurrentClients(t *testing.T) {
+	_, c := newTestServer(t, Config{PoolSize: 2})
+	code, body, _ := c.do("POST", "/v1/graphs?spec=grid3d:6&wait=true", "", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: code %d body %v", code, body)
+	}
+	id := body["id"].(string)
+
+	const workers, per = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*per)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := &client{t: t, base: c.base, hc: c.hc}
+			for i := 0; i < per; i++ {
+				code, body, _ := cl.do("POST", "/v1/graphs/"+id+"/solve", fmt.Sprintf("w%d", w),
+					map[string]any{"rhs": 1, "seed": w*100 + i})
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d solve %d: code %d body %v", w, i, code, body)
+					return
+				}
+				if body["results"].([]any)[0].(map[string]any)["converged"] != true {
+					errs <- fmt.Errorf("worker %d solve %d did not converge", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAdmissionOverloadHTTP asserts the 429 contract: a tenant that burns
+// its burst gets 429 with a Retry-After header, and a different tenant on
+// the same server is untouched.
+func TestAdmissionOverloadHTTP(t *testing.T) {
+	_, c := newTestServer(t, Config{
+		Admission: AdmissionConfig{Rate: 1e-9, Burst: 2, MaxQueue: 0},
+	})
+	code, body, _ := c.do("POST", "/v1/graphs?spec=grid2d:8&wait=true", "", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: code %d body %v", code, body)
+	}
+	id := body["id"].(string)
+	solve := map[string]any{"rhs": 1}
+
+	for i := 0; i < 2; i++ {
+		if code, body, _ = c.do("POST", "/v1/graphs/"+id+"/solve", "noisy", solve); code != http.StatusOK {
+			t.Fatalf("noisy solve %d: code %d body %v", i, code, body)
+		}
+	}
+	code, body, hdr := c.do("POST", "/v1/graphs/"+id+"/solve", "noisy", solve)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated tenant: code %d body %v, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if code, body, _ = c.do("POST", "/v1/graphs/"+id+"/solve", "quiet", solve); code != http.StatusOK {
+		t.Fatalf("quiet tenant degraded: code %d body %v", code, body)
+	}
+}
+
+// TestDrainRefusesNewWork: a draining server 503s fresh requests.
+func TestDrainRefuses(t *testing.T) {
+	srv, c := newTestServer(t, Config{})
+	if err := srv.Drain(t.Context()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	code, body, _ := c.do("GET", "/v1/graphs", "", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("request on draining server: code %d body %v, want 503", code, body)
+	}
+}
+
+// TestSubmitBodyFormats round-trips an edge-list body (the gio format path,
+// no server-side generator involved).
+func TestSubmitBodyFormats(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	edges := "0 1 1.0\n1 2 2.0\n2 3 1.0\n3 0 1.5\n"
+	req, err := http.NewRequest("POST", c.base+"/v1/graphs?format=edgelist&wait=true", strings.NewReader(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit edgelist: code %d body %v", resp.StatusCode, body)
+	}
+	if n := body["n"].(float64); n != 4 {
+		t.Fatalf("edgelist graph: n=%v, want 4", n)
+	}
+	id := body["id"].(string)
+	code, body, _ := c.do("POST", "/v1/graphs/"+id+"/solve", "", map[string]any{"rhs": 1, "include_x": true})
+	if code != http.StatusOK {
+		t.Fatalf("solve: code %d body %v", code, body)
+	}
+	x := body["results"].([]any)[0].(map[string]any)["x"].([]any)
+	if len(x) != 4 {
+		t.Fatalf("include_x: len %d, want 4", len(x))
+	}
+}

@@ -1,0 +1,339 @@
+package serve
+
+// The graph-handle store: submitted graphs and their multilevel hierarchies,
+// cached across requests. A handle is born "building" — the hierarchy
+// construction runs in a background goroutine under a "serve/build" span —
+// and flips to "ready" (or "failed") when it completes. Ready handles carry a
+// warm engine pool. The store holds an LRU list under a byte budget
+// (graph + hierarchy memory, via Graph.Bytes and Hierarchy.MemoryBytes);
+// inserting past either the handle cap or the byte budget evicts the
+// least-recently-used idle handle. Handles with in-flight solves (refs > 0)
+// and handles still building are never evicted.
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hcd"
+	"hcd/internal/obs"
+)
+
+// ErrNoCapacity: the submitted graph cannot fit the byte budget even after
+// evicting every idle handle.
+var ErrNoCapacity = errors.New("serve: graph store over capacity")
+
+// ErrNotFound: no handle with the requested id.
+var ErrNotFound = errors.New("serve: graph not found")
+
+// ErrBuilding: the handle's hierarchy build has not finished.
+var ErrBuilding = errors.New("serve: hierarchy still building")
+
+// HandleStatus is a handle's lifecycle state.
+type HandleStatus string
+
+const (
+	StatusBuilding HandleStatus = "building"
+	StatusReady    HandleStatus = "ready"
+	StatusFailed   HandleStatus = "failed"
+)
+
+// handle is one cached graph plus its hierarchy and engine pool. Fields
+// under "guarded by store.mu" must only be touched with the store lock held;
+// the build goroutine publishes its result through the store's lock and the
+// ready channel.
+type handle struct {
+	id string
+	g  *hcd.Graph
+
+	ready chan struct{} // closed when the build finishes (either way)
+
+	// Guarded by store.mu.
+	status   HandleStatus
+	h        *hcd.Hierarchy
+	buildErr error
+	bytes    int64 // graph + hierarchy memory charged to the budget
+	refs     int
+	solves   int64
+	lastUse  time.Time
+	elem     *list.Element
+	pool     *enginePool
+	cancel   context.CancelFunc // stops an in-flight build on delete
+	buildDur time.Duration
+}
+
+// HandleInfo is the externally visible snapshot of a handle.
+type HandleInfo struct {
+	ID        string       `json:"id"`
+	Status    HandleStatus `json:"status"`
+	Error     string       `json:"error,omitempty"`
+	N         int          `json:"n"`
+	M         int          `json:"m"`
+	Bytes     int64        `json:"bytes"`
+	Levels    []int        `json:"levels,omitempty"`
+	Solves    int64        `json:"solves"`
+	BuildMS   int64        `json:"build_ms,omitempty"`
+	InFlight  int          `json:"in_flight"`
+	LastUseMS int64        `json:"idle_ms"`
+}
+
+type store struct {
+	maxHandles int
+	maxBytes   int64
+	poolSize   int
+	hopt       hcd.HierarchyOptions
+	reg        *obs.Registry
+	tr         *obs.Tracer
+	gauges     *engineGauges
+	now        func() time.Time
+
+	mu     sync.Mutex
+	byID   map[string]*handle
+	lru    *list.List // front = most recently used; values are *handle
+	bytes  int64
+	nextID int64
+}
+
+func newStore(maxHandles int, maxBytes int64, poolSize int, hopt hcd.HierarchyOptions, reg *obs.Registry, tr *obs.Tracer) *store {
+	return &store{
+		maxHandles: maxHandles,
+		maxBytes:   maxBytes,
+		poolSize:   poolSize,
+		hopt:       hopt,
+		reg:        reg,
+		tr:         tr,
+		gauges:     &engineGauges{reg: reg},
+		now:        time.Now,
+		byID:       make(map[string]*handle),
+		lru:        list.New(),
+	}
+}
+
+// Put registers a graph, kicks off its hierarchy build in the background,
+// and returns the new handle. hopt overrides the store default when non-nil.
+func (s *store) Put(g *hcd.Graph, hopt *hcd.HierarchyOptions) (*handle, error) {
+	opts := s.hopt
+	if hopt != nil {
+		opts = *hopt
+	}
+	gb := g.Bytes()
+	s.mu.Lock()
+	if gb > s.maxBytes {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: graph needs %d bytes, budget is %d: %w", gb, s.maxBytes, ErrNoCapacity)
+	}
+	if err := s.evictLocked(gb, 1); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.nextID++
+	buildCtx, cancel := context.WithCancel(context.Background())
+	if s.tr != nil {
+		buildCtx = obs.WithTracer(buildCtx, s.tr)
+	}
+	if s.reg != nil {
+		buildCtx = obs.WithRegistry(buildCtx, s.reg)
+	}
+	h := &handle{
+		id:      fmt.Sprintf("g-%d", s.nextID),
+		g:       g,
+		ready:   make(chan struct{}),
+		status:  StatusBuilding,
+		bytes:   gb,
+		lastUse: s.now(),
+		cancel:  cancel,
+	}
+	h.elem = s.lru.PushFront(h)
+	s.byID[h.id] = h
+	s.bytes += gb
+	s.publishLocked()
+	s.mu.Unlock()
+
+	go s.build(buildCtx, h, opts)
+	return h, nil
+}
+
+// build constructs the hierarchy and publishes the result. It runs outside
+// any request: a submitted graph keeps building after its submit request
+// returns, and the span parents at the trace root.
+func (s *store) build(ctx context.Context, h *handle, opts hcd.HierarchyOptions) {
+	ctx, sp := obs.StartSpan(ctx, "serve/build")
+	sp.Arg("graph", h.id)
+	sp.Arg("n", h.g.N())
+	sp.Arg("m", h.g.M())
+	start := s.now()
+	hier, err := hcd.NewHierarchyCtx(ctx, h.g, opts)
+	dur := s.now().Sub(start)
+	sp.End()
+	observe(s.reg, metricBuildTime, dur)
+
+	s.mu.Lock()
+	h.buildDur = dur
+	if err != nil {
+		h.status = StatusFailed
+		h.buildErr = err
+		counter(s.reg, metricBuilds+`{outcome="error"}`)
+	} else {
+		h.status = StatusReady
+		h.h = hier
+		h.pool = newEnginePool(h.g, hier, s.poolSize, s.gauges)
+		hb := hier.MemoryBytes()
+		h.bytes += hb
+		s.bytes += hb
+		counter(s.reg, metricBuilds+`{outcome="ok"}`)
+		// The finished hierarchy may push the store past its byte budget;
+		// rebalance against idle handles. Pin this handle while evicting so
+		// it cannot free itself mid-publish.
+		h.refs++
+		_ = s.evictLocked(0, 0)
+		h.refs--
+	}
+	s.publishLocked()
+	s.mu.Unlock()
+	close(h.ready)
+}
+
+// evictLocked frees room for `need` extra bytes and `extra` extra handles,
+// dropping idle ready/failed handles from the LRU tail. The most recently
+// used handle is never evicted, so a just-submitted graph cannot be killed
+// by its own arrival.
+func (s *store) evictLocked(need int64, extra int) error {
+	for s.lru.Len()+extra > s.maxHandles || s.bytes+need > s.maxBytes {
+		var victim *handle
+		for e := s.lru.Back(); e != nil && e != s.lru.Front(); e = e.Prev() {
+			h := e.Value.(*handle)
+			if h.refs == 0 && h.status != StatusBuilding {
+				victim = h
+				break
+			}
+		}
+		if victim == nil {
+			if s.bytes+need > s.maxBytes {
+				return fmt.Errorf("serve: need %d bytes over %d in use (budget %d), nothing evictable: %w",
+					need, s.bytes, s.maxBytes, ErrNoCapacity)
+			}
+			return nil // over handle cap but nothing evictable; tolerate
+		}
+		s.removeLocked(victim)
+		counter(s.reg, metricEvictions)
+	}
+	return nil
+}
+
+// removeLocked unlinks a handle and returns its bytes to the budget.
+func (s *store) removeLocked(h *handle) {
+	if h.elem != nil {
+		s.lru.Remove(h.elem)
+		h.elem = nil
+	}
+	delete(s.byID, h.id)
+	s.bytes -= h.bytes
+	if h.pool != nil {
+		h.pool.drop()
+	}
+	h.cancel()
+}
+
+// Get returns the handle and a release func that must be called when the
+// request is done with it. The handle may still be building — callers decide
+// whether to wait on h.ready or fail fast.
+func (s *store) Get(id string) (*handle, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.byID[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	h.refs++
+	h.lastUse = s.now()
+	s.lru.MoveToFront(h.elem)
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.mu.Lock()
+			h.refs--
+			h.lastUse = s.now()
+			s.mu.Unlock()
+		})
+	}
+	return h, release, nil
+}
+
+// Delete evicts a handle explicitly. In-flight solves holding the handle
+// finish normally — the memory is reclaimed when they drop their references.
+func (s *store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.byID[id]
+	if !ok {
+		return ErrNotFound
+	}
+	s.removeLocked(h)
+	s.publishLocked()
+	return nil
+}
+
+// List snapshots every handle, most recently used first.
+func (s *store) List() []HandleInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := make([]HandleInfo, 0, s.lru.Len())
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		infos = append(infos, s.infoLocked(e.Value.(*handle)))
+	}
+	return infos
+}
+
+// Info snapshots one handle.
+func (s *store) Info(id string) (HandleInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.byID[id]
+	if !ok {
+		return HandleInfo{}, ErrNotFound
+	}
+	return s.infoLocked(h), nil
+}
+
+func (s *store) infoLocked(h *handle) HandleInfo {
+	info := HandleInfo{
+		ID:        h.id,
+		Status:    h.status,
+		N:         h.g.N(),
+		M:         h.g.M(),
+		Bytes:     h.bytes,
+		Solves:    h.solves,
+		BuildMS:   h.buildDur.Milliseconds(),
+		InFlight:  h.refs,
+		LastUseMS: s.now().Sub(h.lastUse).Milliseconds(),
+	}
+	if h.buildErr != nil {
+		info.Error = h.buildErr.Error()
+	}
+	if h.h != nil {
+		info.Levels = h.h.LevelSizes()
+	}
+	return info
+}
+
+// CountSolve bumps a handle's solve counter.
+func (s *store) CountSolve(h *handle) {
+	s.mu.Lock()
+	h.solves++
+	s.mu.Unlock()
+}
+
+// Snapshot of a handle's solve-facing state: status, hierarchy, pool, error.
+func (s *store) solveState(h *handle) (HandleStatus, *hcd.Hierarchy, *enginePool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.status, h.h, h.pool, h.buildErr
+}
+
+func (s *store) publishLocked() {
+	gaugeSet(s.reg, metricHandles, float64(s.lru.Len()))
+	gaugeSet(s.reg, metricHandleBytes, float64(s.bytes))
+}

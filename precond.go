@@ -180,20 +180,22 @@ func NewHierarchyCtx(ctx context.Context, g *Graph, opt HierarchyOptions) (*Hier
 // SolvePCG solves the Laplacian system A·x = b with preconditioned
 // conjugate gradients. b should be orthogonal to the constant vector on each
 // component; with opt.ProjectMean (default) it is projected automatically.
+// Dimension mismatches return an error wrapping ErrBadDimension (earlier
+// versions panicked and returned a bare SolveResult).
 //
-// SolvePCG is a thin wrapper over SolvePCGCtx with context.Background(); it
-// panics on dimension mismatch (historical behavior). New code that needs
-// cancellation, deadlines, or errors.Is-testable failures should call
-// SolvePCGCtx or use an Engine.
-func SolvePCG(g *Graph, b []float64, m Preconditioner, opt SolveOptions) SolveResult {
-	return solver.PCG(solver.LapOperator(g), m, b, opt)
+// Deprecated: SolvePCG is the context-free legacy form. Use SolvePCGCtx for
+// cancellation and deadlines, Do for multi-RHS requests, or an Engine for
+// repeated solves.
+func SolvePCG(g *Graph, b []float64, m Preconditioner, opt SolveOptions) (SolveResult, error) {
+	return SolvePCGCtx(context.Background(), g, b, m, opt)
 }
 
 // Solve is the batteries-included entry point: it builds a multilevel
 // Steiner preconditioner and runs PCG to the default tolerance.
 //
-// Solve is a thin wrapper over SolveCtx with context.Background(); for
-// repeated solves on one graph prefer NewHierarchyEngine.
+// Deprecated: Solve is a thin wrapper over SolveCtx with
+// context.Background(). Use SolveCtx (or Do); for repeated solves on one
+// graph prefer NewHierarchyEngine.
 func Solve(g *Graph, b []float64) (SolveResult, error) {
 	return SolveCtx(context.Background(), g, b)
 }
@@ -230,10 +232,10 @@ func NewResistanceComputer(g *Graph) (*ResistanceComputer, error) {
 // workers per step). It bootstraps eigenvalue bounds for M⁻¹A from a short
 // PCG probe, then iterates. Returns the solution and the residual history.
 //
-// SolveChebyshev is a thin wrapper over SolveChebyshevCtx with
-// context.Background() and DefaultChebyshevOptions; use the Ctx form to
-// configure the probe depth and Ritz-bracket widening, observe the spectrum
-// estimate, or cancel mid-solve.
+// Deprecated: SolveChebyshev is a thin wrapper over SolveChebyshevCtx with
+// context.Background() and DefaultChebyshevOptions. Use the Ctx form (or Do
+// with SolveMethodChebyshev) to configure the probe depth and Ritz-bracket
+// widening, observe the spectrum estimate, or cancel mid-solve.
 func SolveChebyshev(g *Graph, b []float64, m Preconditioner, iters int) ([]float64, []float64, error) {
 	res, err := SolveChebyshevCtx(context.Background(), g, b, m, DefaultChebyshevOptions(iters))
 	if err != nil {

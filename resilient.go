@@ -135,8 +135,24 @@ func (r ResilienceReport) String() string {
 // error. When every rung fails it returns the last attempt's result and an
 // error wrapping ErrNotConverged; when the context is cancelled it returns
 // an error wrapping the context's error. The report is meaningful in every
-// case.
+// case. SolveResilient is a thin wrapper over Do with SolveMethodResilient
+// and a single right-hand side.
 func SolveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOptions) (SolveResult, ResilienceReport, error) {
+	resp, err := Do(ctx, g, SolveRequest{B: [][]float64{b}, Method: SolveMethodResilient, Resilience: opt})
+	var res SolveResult
+	var rep ResilienceReport
+	if len(resp.Results) > 0 {
+		res = resp.Results[len(resp.Results)-1]
+	}
+	if len(resp.Resilience) > 0 {
+		rep = resp.Resilience[len(resp.Resilience)-1]
+	}
+	return res, rep, err
+}
+
+// solveResilient is the ladder implementation behind Do's resilient method
+// (and hence SolveResilient), one right-hand side per call.
+func solveResilient(ctx context.Context, g *Graph, b []float64, opt ResilienceOptions) (SolveResult, ResilienceReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

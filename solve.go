@@ -9,7 +9,6 @@ package hcd
 
 import (
 	"context"
-	"fmt"
 
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
@@ -93,23 +92,34 @@ func NewHierarchyEngine(g *Graph, hopt HierarchyOptions, opt SolveOptions) (*Eng
 // conjugate gradients under a context: cancellation or deadline expiry stops
 // the iteration within one check interval (opt.CheckEvery, default 8
 // iterations) with OutcomeCancelled. Dimension mismatches return an error
-// wrapping ErrBadDimension. This is the primary PCG entry point; SolvePCG is
-// a thin wrapper over it with context.Background().
+// wrapping ErrBadDimension. A nil m runs plain CG. This is a thin wrapper
+// over Do with a single right-hand side.
 func SolvePCGCtx(ctx context.Context, g *Graph, b []float64, m Preconditioner, opt SolveOptions) (SolveResult, error) {
-	return solver.PCGCtx(ctx, solver.LapOperator(g), m, b, opt)
+	req := SolveRequest{B: [][]float64{b}, Method: SolveMethodPCG, M: m, Options: opt}
+	if m == nil {
+		req.Precond.Kind = PrecondNone
+	}
+	resp, err := Do(ctx, g, req)
+	var res SolveResult
+	if len(resp.Results) > 0 {
+		res = resp.Results[len(resp.Results)-1]
+	}
+	return res, err
 }
 
 // SolveCtx is the batteries-included context-aware entry point: it builds a
-// multilevel Steiner preconditioner and runs PCG to the default tolerance.
-// For repeated solves on one graph build a NewHierarchyEngine instead, which
-// amortizes both the preconditioner and the work buffers. Solve is a thin
-// wrapper over this with context.Background().
+// multilevel Steiner preconditioner and runs PCG to the default tolerance —
+// Do with the zero-value PrecondSpec. For repeated solves on one graph build
+// a NewHierarchyEngine instead, which amortizes both the preconditioner and
+// the work buffers. Solve is a thin wrapper over this with
+// context.Background().
 func SolveCtx(ctx context.Context, g *Graph, b []float64) (SolveResult, error) {
-	h, err := hierarchy.NewCtx(ctx, g, hierarchy.DefaultOptions())
-	if err != nil {
-		return SolveResult{}, err
+	resp, err := Do(ctx, g, SolveRequest{B: [][]float64{b}, Options: solver.DefaultOptions()})
+	var res SolveResult
+	if len(resp.Results) > 0 {
+		res = resp.Results[len(resp.Results)-1]
 	}
-	return solver.PCGCtx(ctx, solver.LapOperator(g), h, b, solver.DefaultOptions())
+	return res, err
 }
 
 // ChebyshevOptions configures SolveChebyshevCtx: the bootstrap PCG probe
@@ -150,40 +160,26 @@ type ChebyshevResult struct {
 // inner-product-free companion of the parallel preconditioners (no
 // reductions across workers per step). It bootstraps eigenvalue bounds for
 // M⁻¹A from a short PCG probe, widens the Ritz bracket per opt, and
-// iterates under ctx. This is the primary Chebyshev entry point;
-// SolveChebyshev is a thin wrapper over it with context.Background() and
-// default options.
+// iterates under ctx. This is a thin wrapper over Do with
+// SolveMethodChebyshev and a single right-hand side; SolveChebyshev wraps it
+// with context.Background() and default options.
 func SolveChebyshevCtx(ctx context.Context, g *Graph, b []float64, m Preconditioner, opt ChebyshevOptions) (ChebyshevResult, error) {
-	if opt.Iters <= 0 {
-		return ChebyshevResult{}, fmt.Errorf("hcd: ChebyshevOptions.Iters must be positive")
+	req := SolveRequest{B: [][]float64{b}, Method: SolveMethodChebyshev, M: m, Chebyshev: opt}
+	if m == nil {
+		req.Precond.Kind = PrecondNone
 	}
-	if opt.ProbeIters <= 0 {
-		opt.ProbeIters = 40
-	}
-	if opt.WidenLow <= 0 {
-		opt.WidenLow = 0.8
-	}
-	if opt.WidenHigh <= 0 {
-		opt.WidenHigh = 1.2
-	}
-	a := solver.LapOperator(g)
-	probe, err := solver.PCGCtx(ctx, a, m, b,
-		solver.Options{Tol: 1e-12, MaxIter: opt.ProbeIters, ProjectMean: true})
+	resp, err := Do(ctx, g, req)
 	if err != nil {
+		if len(resp.Results) > 0 {
+			// The cancelled-probe case: the probe result travels back so
+			// the caller can inspect the partial solve.
+			return ChebyshevResult{SolveResult: resp.Results[0], ProbeMetrics: resp.ProbeMetrics}, err
+		}
 		return ChebyshevResult{}, err
 	}
-	if probe.Outcome == OutcomeCancelled {
-		return ChebyshevResult{SolveResult: probe, ProbeMetrics: probe.Metrics},
-			fmt.Errorf("hcd: chebyshev probe cancelled: %w", ctx.Err())
-	}
-	lmin, lmax, err := solver.SpectrumEstimate(probe.Alphas, probe.Betas)
-	if err != nil {
-		return ChebyshevResult{}, err
-	}
-	res, err := solver.ChebyshevCtx(ctx, a, m, b, lmin*opt.WidenLow, lmax*opt.WidenHigh,
-		solver.Options{MaxIter: opt.Iters, ProjectMean: true, Tol: opt.Tol, Observer: opt.Observer})
-	if err != nil {
-		return ChebyshevResult{}, err
-	}
-	return ChebyshevResult{SolveResult: res, Lmin: lmin, Lmax: lmax, ProbeMetrics: probe.Metrics}, nil
+	return ChebyshevResult{
+		SolveResult: resp.Results[0],
+		Lmin:        resp.Lmin, Lmax: resp.Lmax,
+		ProbeMetrics: resp.ProbeMetrics,
+	}, nil
 }
