@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-decomp bench-json vet fmt check race race-solver selfcheck chaos fuzz server-smoke experiments fig6 coverage
+.PHONY: all build test bench bench-decomp bench-json bench-scale scale-smoke vet fmt check race race-solver selfcheck chaos fuzz server-smoke experiments fig6 coverage
 
 all: build test
 
@@ -74,6 +74,18 @@ bench-json:
 		| $(GO) run ./cmd/hcd-benchjson -out BENCH_decompose.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmSolves' -benchmem . \
 		| $(GO) run ./cmd/hcd-benchjson -out BENCH_solve.json
+
+# bench-scale: the end-to-end scaling benchmark behind BENCH_scale.json —
+# decompose + hierarchy-build + PCG-solve a 10⁶-vertex weighted 3D grid,
+# single-pass vs 8 shards, recording wall times and per-config peak RSS
+# (each configuration runs in its own child process for honest VmHWM).
+bench-scale:
+	$(GO) run ./cmd/hcd-scale -side 100 -shards 1,8 -out BENCH_scale.json
+
+# scale-smoke: the CI-sized scaling gate — a ≈200k-vertex 3D grid built with
+# 4 shards and solved end to end under a hard wall-clock budget.
+scale-smoke:
+	$(GO) run ./cmd/hcd-scale -side 59 -shards 4 -timeout 10m
 
 experiments:
 	$(GO) run ./cmd/hcd-experiments

@@ -143,8 +143,8 @@ func e1() {
 	subOpt.ExtraFraction = 0.12
 	sub := must(hcd.NewSubgraphPreconditioner(g, subOpt, g.N()))
 	opt := hcd.DefaultSolveOptions()
-	sres := must(hcd.SolvePCG(g, b, sp, opt))
-	gres := must(hcd.SolvePCG(g, b, sub.P, opt))
+	sres := must(solvePCG(g, b, sp, opt))
+	gres := must(solvePCG(g, b, sub.P, opt))
 	t := cli.NewTable("preconditioner", "reduction", "iterations", "converged", "res[10]/res[0]")
 	t.Row("steiner", float64(g.N())/float64(d.Count), sres.Iterations, sres.Converged, rat(sres.Residuals, 10))
 	t.Row("subgraph", float64(g.N())/float64(sub.CoreSize), gres.Iterations, gres.Converged, rat(gres.Residuals, 10))
@@ -180,7 +180,7 @@ func e2() {
 		el := time.Since(start)
 		return el
 	}
-	tCluster := timeIt("clustering", func() { must(hcd.DecomposeFixedDegree(g, 4, 1)) })
+	tCluster := timeIt("clustering", func() { must(decomposeFixedDegree(g, 4, 1)) })
 	tKruskal := timeIt("kruskal", func() { mst.Kruskal(g, mst.Max) })
 	tPrim := timeIt("prim", func() { mst.Prim(g, mst.Max) })
 	tBoruvka := timeIt("boruvka", func() { mst.Boruvka(g, mst.Max, false) })
@@ -207,7 +207,7 @@ func e3() {
 		exact := true
 		for s := 0; s < trees; s++ {
 			g := hcd.RandomTree(n, hcd.UniformWeights(0.1, 10), int64(s+1))
-			d := must(hcd.DecomposeTree(g))
+			d := must(decomposeTree(g))
 			rep := hcd.Evaluate(d)
 			minPhi = math.Min(minPhi, rep.Phi)
 			minRho = math.Min(minRho, rep.Rho)
@@ -253,11 +253,11 @@ func e5() {
 		t.Row(name, rep.Phi, nums.SigmaBA, bound, bound/nums.SigmaBA)
 	}
 	tree := hcd.RandomTree(2000, hcd.UniformWeights(0.1, 10), 2)
-	run("tree:2000", tree, must(hcd.DecomposeTree(tree)))
+	run("tree:2000", tree, must(decomposeTree(tree)))
 	grid := hcd.Grid3D(10, 10, 10, hcd.LognormalWeights(1), 3)
-	run("grid3d:10", grid, must(hcd.DecomposeFixedDegree(grid, 4, 1)))
+	run("grid3d:10", grid, must(decomposeFixedDegree(grid, 4, 1)))
 	mesh := hcd.PlanarMesh(24, 24, hcd.LognormalWeights(1), 4)
-	run("mesh:24", mesh, must(hcd.DecomposePlanar(mesh, hcd.DefaultPlanarOptions())).D)
+	run("mesh:24", mesh, must(decomposePlanar(mesh, hcd.DefaultPlanarOptions())).D)
 	fmt.Print(t)
 	fmt.Println("paper claim: σ(S_P, A) ≤ 3(1 + 2/φ³); slack > 1 means the bound holds.")
 }
@@ -265,7 +265,7 @@ func e5() {
 // e6 measures the Theorem 4.1 alignment of low eigenvectors.
 func e6() {
 	g := hcd.Grid2D(24, 24, hcd.LognormalWeights(1), 5)
-	d := must(hcd.DecomposeFixedDegree(g, 4, 1))
+	d := must(decomposeFixedDegree(g, 4, 1))
 	rows, err := hcd.Portrait(d, 5, 1)
 	if err != nil {
 		log.Fatal(err)
@@ -284,7 +284,7 @@ func e7() {
 	rng := rand.New(rand.NewSource(7))
 	for _, spec := range []string{"grid3d:10", "regular:600,4", "regular:600,6", "mesh:20"} {
 		g := must(cli.BuildGraph(spec, 3))
-		d := must(hcd.DecomposeFixedDegree(g, 4, 1))
+		d := must(decomposeFixedDegree(g, 4, 1))
 		rep := hcd.Evaluate(d)
 		p := must(hcd.NewSteinerPreconditioner(d))
 		nums := must(hcd.MeasureSupport(g, p, cli.MeanFreeRHS(g.N(), rng.Int63()), 60))
@@ -306,7 +306,7 @@ func e8() {
 	for _, side := range sides {
 		g := hcd.OCT3D(side, side, side, hcd.DefaultOCTOptions())
 		h := must(hcd.NewHierarchy(g, hcd.DefaultHierarchyOptions()))
-		res := must(hcd.SolvePCG(g, cli.MeanFreeRHS(g.N(), 9), h, hcd.DefaultSolveOptions()))
+		res := must(solvePCG(g, cli.MeanFreeRHS(g.N(), 9), h, hcd.DefaultSolveOptions()))
 		t.Row(side, g.N(), h.Depth(), res.Iterations, res.Converged)
 		report(fmt.Sprintf("hierarchy %d³", side), res.Metrics)
 	}
@@ -319,7 +319,7 @@ func e9() {
 	t := cli.NewTable("side", "n", "φ", "ρ", "avg stretch", "n·φ·ρ / (n/log³n)")
 	for _, side := range []int{20, 40, 60} {
 		g := hcd.Grid2D(side, side, hcd.LognormalWeights(1.5), 11)
-		res := must(hcd.DecomposeMinorFree(g, 2))
+		res := must(decomposeMinorFree(g, 2))
 		rep := hcd.Evaluate(res.D)
 		logn := math.Log(float64(g.N()))
 		t.Row(side, g.N(), rep.Phi, rep.Rho, res.AvgStretch, rep.Phi*logn*logn*logn)
@@ -349,7 +349,7 @@ func e11() {
 	for p := 1; p <= maxProcs; p *= 2 {
 		runtime.GOMAXPROCS(p)
 		start := time.Now()
-		must(hcd.DecomposeFixedDegree(g, 4, 1))
+		must(decomposeFixedDegree(g, 4, 1))
 		t1 := time.Since(start)
 		start = time.Now()
 		for rep := 0; rep < 20; rep++ {
@@ -373,14 +373,14 @@ func a5() {
 	g := hcd.Grid3DAnisotropic(12, 12, 12, 1, 1, 1000)
 	b := cli.MeanFreeRHS(g.N(), 29)
 	t := cli.NewTable("preconditioner", "PCG iters", "converged")
-	jr := must(hcd.SolvePCG(g, b, hcd.JacobiPreconditioner(g), hcd.DefaultSolveOptions()))
+	jr := must(solvePCG(g, b, hcd.JacobiPreconditioner(g), hcd.DefaultSolveOptions()))
 	t.Row("jacobi", jr.Iterations, jr.Converged)
-	d := must(hcd.DecomposeFixedDegree(g, 4, 1))
+	d := must(decomposeFixedDegree(g, 4, 1))
 	sp := must(hcd.NewSteinerPreconditioner(d))
-	sr := must(hcd.SolvePCG(g, b, sp, hcd.DefaultSolveOptions()))
+	sr := must(solvePCG(g, b, sp, hcd.DefaultSolveOptions()))
 	t.Row("steiner (heaviest-edge clusters)", sr.Iterations, sr.Converged)
 	h := must(hcd.NewHierarchy(g, hcd.DefaultHierarchyOptions()))
-	hr := must(hcd.SolvePCG(g, b, h, hcd.DefaultSolveOptions()))
+	hr := must(solvePCG(g, b, h, hcd.DefaultSolveOptions()))
 	t.Row("steiner hierarchy", hr.Iterations, hr.Converged)
 	fmt.Print(t)
 	report("jacobi", jr.Metrics)
@@ -398,16 +398,18 @@ func e10() {
 	t := cli.NewTable("method", "clusters", "ρ", "φ", "γ_avg (cut fraction)", "eigensolves", "time")
 	g := hcd.Grid2D(24, 24, hcd.LognormalWeights(1), 21)
 	start := time.Now()
-	dBot := must(hcd.DecomposeFixedDegree(g, 4, 1))
+	dBot := must(decomposeFixedDegree(g, 4, 1))
 	tBot := time.Since(start)
 	rBot := hcd.Evaluate(dBot)
 	t.Row("bottom-up §3.1", dBot.Count, rBot.Rho, rBot.Phi, rBot.CutFraction, 0, tBot.Round(time.Microsecond))
 	start = time.Now()
 	opt := hcd.DefaultSpectralCutOptions()
-	dTop, st, err := hcd.DecomposeSpectral(g, opt)
+	sres2, err := hcd.DecomposeCtx(obsCtx, g,
+		hcd.DecomposeOptions{Method: hcd.MethodSpectral, Spectral: opt, SkipReport: true})
 	if err != nil {
 		log.Fatal(err)
 	}
+	dTop, st := sres2.D, sres2.SpectralStats
 	tTop := time.Since(start)
 	rTop := hcd.Evaluate(dTop)
 	t.Row("top-down spectral", dTop.Count, rTop.Rho, rTop.Phi, rTop.CutFraction, st.EigenCalls, tTop.Round(time.Microsecond))
@@ -429,10 +431,10 @@ func a1() {
 	}{{"max-weight", hcd.MaxWeightTree}, {"low-stretch (AKPW)", hcd.LowStretchTree}} {
 		opt := hcd.DefaultPlanarOptions()
 		opt.Base = base.b
-		res := must(hcd.DecomposePlanar(g, opt))
+		res := must(decomposePlanar(g, opt))
 		rep := hcd.Evaluate(res.D)
 		sub := must(hcd.NewSubgraphPreconditioner(g, opt, g.N()))
-		sres := must(hcd.SolvePCG(g, b, sub.P, hcd.DefaultSolveOptions()))
+		sres := must(solvePCG(g, b, sub.P, hcd.DefaultSolveOptions()))
 		t.Row(base.name, rep.Phi, rep.Rho, res.AvgStretch, sres.Iterations)
 	}
 	fmt.Print(t)
@@ -453,7 +455,7 @@ func a4() {
 			log.Fatal(err)
 		}
 		el := time.Since(start)
-		res := must(hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions()))
+		res := must(solvePCG(g, b, p, hcd.DefaultSolveOptions()))
 		t.Row(name, el.Round(time.Millisecond), size, float64(g.N())/float64(size), res.Iterations)
 	}
 	run("subgraph (monolithic tree)", func() (hcd.Preconditioner, int, error) {
@@ -471,7 +473,7 @@ func a4() {
 		return sub.P, sub.CoreSize, nil
 	})
 	run("steiner (§3.1)", func() (hcd.Preconditioner, int, error) {
-		d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+		d, err := decomposeFixedDegree(g, 4, 1)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -496,7 +498,7 @@ func a2() {
 		{"unit (all ties)", hcd.Grid2D(30, 30, nil, 1)},
 		{"lognormal σ=1", hcd.Grid2D(30, 30, hcd.LognormalWeights(1), 1)},
 	} {
-		d := must(hcd.DecomposeFixedDegree(w.g, 4, 1))
+		d := must(decomposeFixedDegree(w.g, 4, 1))
 		rep := hcd.Evaluate(d)
 		t.Row(w.name, rep.Phi, rep.Rho, rep.Singletons)
 	}
@@ -510,13 +512,54 @@ func a3() {
 	rng := rand.New(rand.NewSource(19))
 	t := cli.NewTable("k", "clusters", "ρ", "φ", "κ(A,B)", "PCG iters")
 	for _, k := range []int{2, 3, 4, 6, 8} {
-		d := must(hcd.DecomposeFixedDegree(g, k, 1))
+		d := must(decomposeFixedDegree(g, k, 1))
 		rep := hcd.Evaluate(d)
 		p := must(hcd.NewSteinerPreconditioner(d))
 		nums := must(hcd.MeasureSupport(g, p, cli.MeanFreeRHS(g.N(), rng.Int63()), 60))
-		res := must(hcd.SolvePCG(g, cli.MeanFreeRHS(g.N(), rng.Int63()), p, hcd.DefaultSolveOptions()))
+		res := must(solvePCG(g, cli.MeanFreeRHS(g.N(), rng.Int63()), p, hcd.DefaultSolveOptions()))
 		t.Row(k, d.Count, rep.Rho, rep.Phi, nums.Kappa, res.Iterations)
 	}
 	fmt.Print(t)
 	fmt.Println("shape: bigger k → more reduction but worse conductance/condition number.")
+}
+
+// Context-ful wrappers over the one-shot entry points the experiments used
+// to call (hcd.DecomposeFixedDegree and friends are deprecated): every build
+// and solve routes through obsCtx, so -trace/-listen observe the experiment
+// runs too.
+func solvePCG(g *hcd.Graph, b []float64, m hcd.Preconditioner, opt hcd.SolveOptions) (hcd.SolveResult, error) {
+	return hcd.SolvePCGCtx(obsCtx, g, b, m, opt)
+}
+
+func decomposeTree(g *hcd.Graph) (*hcd.Decomposition, error) {
+	res, err := hcd.DecomposeCtx(obsCtx, g,
+		hcd.DecomposeOptions{Method: hcd.MethodTree, SkipReport: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.D, nil
+}
+
+func decomposeFixedDegree(g *hcd.Graph, sizeCap int, seed int64) (*hcd.Decomposition, error) {
+	res, err := hcd.DecomposeCtx(obsCtx, g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: sizeCap, Seed: seed, SkipReport: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.D, nil
+}
+
+func decomposePlanar(g *hcd.Graph, opt hcd.PlanarOptions) (*hcd.DecomposeResult, error) {
+	return hcd.DecomposeCtx(obsCtx, g, hcd.DecomposeOptions{
+		Method: hcd.MethodPlanar, Base: opt.Base,
+		ExtraFraction: opt.ExtraFraction, Seed: opt.Seed, SkipReport: true,
+	})
+}
+
+func decomposeMinorFree(g *hcd.Graph, seed int64) (*hcd.DecomposeResult, error) {
+	opt := hcd.DefaultDecomposeOptions(hcd.MethodMinorFree)
+	opt.Seed = seed
+	opt.SkipReport = true
+	return hcd.DecomposeCtx(obsCtx, g, opt)
 }

@@ -41,10 +41,13 @@ func main() {
 
 	// Steiner preconditioner: Section 3.1 clustering at size cap 4 gives a
 	// reduction factor ≈ 4 in the quotient system.
-	d, err := hcd.DecomposeFixedDegree(g, 4, *seed)
+	dres, err := hcd.DecomposeCtx(context.Background(), g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: 4, Seed: *seed, SkipReport: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	d := dres.D
 	sp, err := hcd.NewSteinerPreconditioner(d)
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -97,7 +98,7 @@ func randomTree(rng *rand.Rand, lo, hi int) *hcd.Graph {
 
 func checkTree(rng *rand.Rand) error {
 	g := randomTree(rng, 4, 200)
-	d, err := hcd.DecomposeTree(g)
+	d, err := decomposeTree(g)
 	if err != nil {
 		return err
 	}
@@ -119,7 +120,7 @@ func checkTree(rng *rand.Rand) error {
 
 func checkGammaLemma(rng *rand.Rand) error {
 	g := randomTree(rng, 5, 150)
-	d, err := hcd.DecomposeTree(g)
+	d, err := decomposeTree(g)
 	if err != nil {
 		return err
 	}
@@ -133,7 +134,7 @@ func checkGammaLemma(rng *rand.Rand) error {
 func checkFixedDegree(rng *rand.Rand) error {
 	side := 4 + rng.Intn(5)
 	g := hcd.Grid3D(side, side, side, hcd.LognormalWeights(1), rng.Int63())
-	d, err := hcd.DecomposeFixedDegree(g, 4, rng.Int63())
+	d, err := decomposeFixedDegree(g, 4, rng.Int63())
 	if err != nil {
 		return err
 	}
@@ -155,7 +156,8 @@ func checkFixedDegree(rng *rand.Rand) error {
 func checkPlanar(rng *rand.Rand) error {
 	side := 6 + rng.Intn(10)
 	g := hcd.PlanarMesh(side, side, hcd.LognormalWeights(1), rng.Int63())
-	res, err := hcd.DecomposePlanar(g, hcd.DefaultPlanarOptions())
+	res, err := hcd.DecomposeCtx(context.Background(), g,
+		hcd.DefaultDecomposeOptions(hcd.MethodPlanar))
 	if err != nil {
 		return err
 	}
@@ -170,7 +172,7 @@ func checkPlanar(rng *rand.Rand) error {
 
 func checkTheorem35(rng *rand.Rand) error {
 	g := randomTree(rng, 20, 400)
-	d, err := hcd.DecomposeTree(g)
+	d, err := decomposeTree(g)
 	if err != nil {
 		return err
 	}
@@ -193,7 +195,7 @@ func checkTheorem35(rng *rand.Rand) error {
 func checkTheorem41(rng *rand.Rand) error {
 	side := 5 + rng.Intn(6)
 	g := hcd.Grid2D(side, side, hcd.LognormalWeights(1), rng.Int63())
-	d, err := hcd.DecomposeFixedDegree(g, 4, rng.Int63())
+	d, err := decomposeFixedDegree(g, 4, rng.Int63())
 	if err != nil {
 		return err
 	}
@@ -222,7 +224,7 @@ func checkSolve(rng *rand.Rand) error {
 		Layers: 3, Contrast: 50, NoiseSigma: 1, Seed: rng.Int63(),
 	})
 	b := cli.MeanFreeRHS(g.N(), rng.Int63())
-	res, err := hcd.Solve(g, b)
+	res, err := hcd.SolveCtx(context.Background(), g, b)
 	if err != nil {
 		return err
 	}
@@ -241,4 +243,26 @@ func checkSolve(rng *rand.Rand) error {
 
 func init() {
 	log.SetFlags(0)
+}
+
+// The context-ful decomposition entry points, shared by the checks (the
+// one-shot hcd.DecomposeTree / hcd.DecomposeFixedDegree wrappers are
+// deprecated).
+func decomposeTree(g *hcd.Graph) (*hcd.Decomposition, error) {
+	res, err := hcd.DecomposeCtx(context.Background(), g,
+		hcd.DecomposeOptions{Method: hcd.MethodTree, SkipReport: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.D, nil
+}
+
+func decomposeFixedDegree(g *hcd.Graph, sizeCap int, seed int64) (*hcd.Decomposition, error) {
+	res, err := hcd.DecomposeCtx(context.Background(), g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: sizeCap, Seed: seed, SkipReport: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.D, nil
 }

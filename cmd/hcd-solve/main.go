@@ -33,6 +33,7 @@ func run() (err error) {
 	chebIters := flag.Int("cheb-iters", 120, "Chebyshev iteration count")
 	tol := flag.Float64("tol", 1e-8, "relative residual tolerance")
 	k := flag.Int("k", 4, "cluster size cap for steiner/hierarchy")
+	shards := flag.Int("shards", 1, "shard-parallel clustering for steiner/hierarchy builds (1 = single-pass)")
 	seed := flag.Int64("seed", 1, "random seed")
 	history := flag.Bool("history", false, "print the full residual history")
 	metrics := flag.Bool("metrics", false, "print per-solve metrics (matvecs, applies, phase times)")
@@ -112,7 +113,7 @@ func run() (err error) {
 	// Build the preconditioner up front (rather than letting Do build it
 	// from the spec) so build and solve wall times report separately and
 	// the hierarchy's level profile can be printed.
-	spec := hcd.PrecondSpec{Kind: hcd.PrecondKind(*precond), SizeCap: *k, Seed: *seed}
+	spec := hcd.PrecondSpec{Kind: hcd.PrecondKind(*precond), SizeCap: *k, Seed: *seed, Shards: *shards}
 	buildStart := time.Now()
 	m, err := hcd.NewPreconditioner(ctx, g, spec)
 	if err != nil {

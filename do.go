@@ -60,8 +60,13 @@ type PrecondSpec struct {
 	// ExtraFraction is the subgraph kind's off-tree edge budget as a
 	// fraction of n (0 selects the default, 0.25).
 	ExtraFraction float64
+	// Shards splits the clustering builds of the steiner and hierarchy
+	// kinds into that many concurrent vertex-range shards (see
+	// DecomposeOptions.Shards). 0 or 1 builds single-pass. Ignored when
+	// Hierarchy is set — its own Shards field governs.
+	Shards int
 	// Hierarchy, when non-nil, fully configures the hierarchy kind and
-	// overrides SizeCap/Seed.
+	// overrides SizeCap/Seed/Shards.
 	Hierarchy *HierarchyOptions
 }
 
@@ -79,7 +84,8 @@ func NewPreconditioner(ctx context.Context, g *Graph, spec PrecondSpec) (Precond
 		return JacobiPreconditioner(g), nil
 	case PrecondSteiner:
 		res, err := DecomposeCtx(ctx, g, DecomposeOptions{
-			Method: MethodFixedDegree, SizeCap: specSizeCap(spec), Seed: specSeed(spec), SkipReport: true,
+			Method: MethodFixedDegree, SizeCap: specSizeCap(spec), Seed: specSeed(spec),
+			Shards: spec.Shards, SkipReport: true,
 		})
 		if err != nil {
 			return nil, err
@@ -108,6 +114,7 @@ func NewPreconditioner(ctx context.Context, g *Graph, spec PrecondSpec) (Precond
 			if spec.Seed != 0 {
 				opt.Seed = spec.Seed
 			}
+			opt.Shards = spec.Shards
 		}
 		return NewHierarchyCtx(ctx, g, opt)
 	default:

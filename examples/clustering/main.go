@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -17,14 +18,16 @@ func main() {
 	g := hcd.PlanarMesh(32, 32, hcd.LognormalWeights(1), 3)
 	fmt.Printf("planar mesh: n=%d m=%d\n", g.N(), g.M())
 
-	res, err := hcd.DecomposePlanar(g, hcd.DefaultPlanarOptions())
+	res, err := hcd.DecomposeCtx(context.Background(), g, hcd.DecomposeOptions{
+		Method: hcd.MethodPlanar, Base: hcd.MaxWeightTree, ExtraFraction: 0.25, Seed: 1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := hcd.Validate(res.D); err != nil {
 		log.Fatal(err)
 	}
-	rep := hcd.Evaluate(res.D)
+	rep := res.Report
 	fmt.Printf("Theorem 2.2 pipeline: core |W|=%d, cut |C|=%d, avg stretch %.2f\n",
 		res.CoreSize, res.CutEdges, res.AvgStretch)
 	fmt.Printf("decomposition: %d clusters, ρ=%.2f, min closure conductance φ=%.3f\n",

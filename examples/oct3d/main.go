@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,7 @@ func main() {
 	g := hcd.OCT3D(24, 24, 24, opt)
 	fmt.Printf("synthetic OCT volume: 24³ = %d vertices, %d edges\n", g.N(), g.M())
 
+	ctx := context.Background()
 	b := randomRHS(g.N())
 	run := func(name string, build func() (hcd.Preconditioner, error)) {
 		start := time.Now()
@@ -31,7 +33,7 @@ func main() {
 		}
 		buildTime := time.Since(start)
 		start = time.Now()
-		res, err := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+		res, err := hcd.SolvePCGCtx(ctx, g, b, p, hcd.DefaultSolveOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,11 +46,13 @@ func main() {
 		return hcd.JacobiPreconditioner(g), nil
 	})
 	run("steiner (two-level)", func() (hcd.Preconditioner, error) {
-		d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+		dres, err := hcd.DecomposeCtx(ctx, g, hcd.DecomposeOptions{
+			Method: hcd.MethodFixedDegree, SizeCap: 4, Seed: 1, SkipReport: true,
+		})
 		if err != nil {
 			return nil, err
 		}
-		return hcd.NewSteinerPreconditioner(d)
+		return hcd.NewSteinerPreconditioner(dres.D)
 	})
 	run("subgraph (baseline)", func() (hcd.Preconditioner, error) {
 		popt := hcd.DefaultPlanarOptions()

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,11 +20,14 @@ func main() {
 
 	// Section 3.1 clustering: clusters of ≈4 vertices, every closure with
 	// provably bounded conductance, reduction factor ≥ 2.
-	d, err := hcd.DecomposeFixedDegree(g, 4, 1)
+	ctx := context.Background()
+	dres, err := hcd.DecomposeCtx(ctx, g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: 4, Seed: 1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := hcd.Evaluate(d)
+	d, rep := dres.D, dres.Report
 	fmt.Printf("decomposition: %d clusters, ρ=%.2f, φ=%.4f (exact=%v)\n",
 		d.Count, rep.Rho, rep.Phi, rep.PhiExact)
 
@@ -33,7 +37,7 @@ func main() {
 		log.Fatal(err)
 	}
 	b := randomRHS(g.N())
-	res, err := hcd.SolvePCG(g, b, p, hcd.DefaultSolveOptions())
+	res, err := hcd.SolvePCGCtx(ctx, g, b, p, hcd.DefaultSolveOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

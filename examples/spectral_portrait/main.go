@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -20,11 +21,13 @@ func main() {
 	g := plantedPartition(8, 24, 4.0, 0.05)
 	fmt.Printf("planted-partition graph: n=%d m=%d\n", g.N(), g.M())
 
-	d, err := hcd.DecomposeFixedDegree(g, 24, 1)
+	dres, err := hcd.DecomposeCtx(context.Background(), g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: 24, Seed: 1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := hcd.Evaluate(d)
+	d, rep := dres.D, dres.Report
 	fmt.Printf("clustering: %d clusters, φ=%.3f, γ=%.3f\n", d.Count, rep.Phi, rep.GammaMin)
 
 	vals, vecs, err := hcd.SmallestEigenpairs(g, 10, 150, 1)

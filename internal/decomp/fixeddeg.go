@@ -103,15 +103,30 @@ func FixedDegreeCtx(ctx context.Context, g *graph.Graph, sizeCap int, seed int64
 	if err != nil {
 		return nil, err
 	}
-	assign := d.Assign
+	d.Count, err = splitForest(ctx, forest, rooted, sizeCap, d.Assign)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// splitForest performs step [3] of the Section 3.1 clustering: walk the
+// rooted forest bottom-up, emitting a cluster whenever the pending subtree
+// reaches sizeCap vertices, then sweep the roots for leftovers. It writes
+// cluster ids starting at 0 into assign (len = forest vertex count) and
+// returns the number of clusters. Shared by the single-pass build above and
+// the per-shard build in shard.go, which runs it on shard-local forests.
+func splitForest(ctx context.Context, forest *graph.Graph, rooted *treealg.Rooted, sizeCap int, assign []int) (int, error) {
+	n := len(assign)
 	for i := range assign {
 		assign[i] = -1
 	}
+	count := 0
 	children := rooted.Children()
 	pend := make([]int, n)
 	emit := func(v int) {
-		id := d.Count
-		d.Count++
+		id := count
+		count++
 		stack := []int{v}
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
@@ -126,7 +141,7 @@ func FixedDegreeCtx(ctx context.Context, g *graph.Graph, sizeCap int, seed int64
 	}
 	for i := len(rooted.Order) - 1; i >= 0; i-- {
 		if err := poll(ctx, i); err != nil {
-			return nil, err
+			return 0, err
 		}
 		v := rooted.Order[i]
 		pend[v] = 1
@@ -163,7 +178,7 @@ func FixedDegreeCtx(ctx context.Context, g *graph.Graph, sizeCap int, seed int64
 			emit(root)
 		}
 	}
-	return d, nil
+	return count, nil
 }
 
 // perturbFactor returns a deterministic pseudo-random factor in (1, 2) for

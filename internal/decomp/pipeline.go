@@ -47,14 +47,16 @@ func poll(ctx context.Context, i int) error {
 
 // Canonical stage names shared by the pipeline builders and their tests.
 const (
-	StageBaseTree = "base-tree"      // spanning tree underlying the sparse subgraph
-	StageSparsify = "sparsify"       // stretch-driven off-tree edge selection
-	StageCoreCut  = "strip-cut-core" // degree-1/2 stripping + per-path lightest cut
-	StageTree     = "tree-decompose" // Theorem 2.1 forest decomposition
-	StageCluster  = "cluster"        // Section 3.1 fixed-degree clustering
-	StageSpectral = "spectral-cut"   // recursive sweep-cut baseline
-	StageRebind   = "rebind"         // read the partition over the original graph
-	StageEvaluate = "evaluate"       // measure φ, ρ, γ of the result
+	StageBaseTree  = "base-tree"       // spanning tree underlying the sparse subgraph
+	StageSparsify  = "sparsify"        // stretch-driven off-tree edge selection
+	StageCoreCut   = "strip-cut-core"  // degree-1/2 stripping + per-path lightest cut
+	StageTree      = "tree-decompose"  // Theorem 2.1 forest decomposition
+	StageCluster   = "cluster"         // Section 3.1 fixed-degree clustering
+	StagePartition = "shard-partition" // split the vertex range into balanced shards
+	StageStitch    = "stitch-boundary" // merge boundary singletons across shards
+	StageSpectral  = "spectral-cut"    // recursive sweep-cut baseline
+	StageRebind    = "rebind"          // read the partition over the original graph
+	StageEvaluate  = "evaluate"        // measure φ, ρ, γ of the result
 )
 
 // StageMetrics instruments one pipeline stage, mirroring solver.Metrics on
@@ -79,6 +81,15 @@ type BuildMetrics struct {
 	// enumerated, boundary stubs collapsed into anchor volumes, core
 	// side-assignments visited, and sweep-bound fallbacks.
 	Cert CertStats
+	// PeakHeapBytes is the largest Go heap (HeapAlloc) observed at a stage
+	// boundary during the build — an in-process view of the build's memory
+	// high-water mark.
+	PeakHeapBytes uint64
+	// PeakRSSBytes is the process's resident-set high-water mark (VmHWM) as
+	// of the end of the build, or 0 where the platform does not expose it.
+	// Unlike PeakHeapBytes it covers the whole process lifetime, not just
+	// this build.
+	PeakRSSBytes int64
 }
 
 // Stage returns the metrics of the named stage, if it ran.
@@ -102,6 +113,9 @@ func (m BuildMetrics) String() string {
 	if m.Cert != (CertStats{}) {
 		fmt.Fprintf(&b, "cert(cores=%d stubs=%d subsets=%d bounds=%d) | ",
 			m.Cert.Cores, m.Cert.Stubs, m.Cert.Subsets, m.Cert.Bounds)
+	}
+	if m.PeakHeapBytes > 0 {
+		fmt.Fprintf(&b, "peak(heap=%dB rss=%dB) | ", m.PeakHeapBytes, m.PeakRSSBytes)
 	}
 	fmt.Fprintf(&b, "total=%v", m.TotalTime.Round(time.Microsecond))
 	return b.String()
@@ -175,6 +189,13 @@ func (p *Pipeline) Run(name string, fn func(ctx context.Context) (StageInfo, err
 		Edges:         info.Edges,
 		ScratchAllocs: int(after.Mallocs - before.Mallocs),
 	})
+	if after.HeapAlloc > p.Metrics.PeakHeapBytes {
+		p.Metrics.PeakHeapBytes = after.HeapAlloc
+	}
+	if before.HeapAlloc > p.Metrics.PeakHeapBytes {
+		p.Metrics.PeakHeapBytes = before.HeapAlloc
+	}
+	p.Metrics.PeakRSSBytes = obs.PeakRSS()
 	p.Metrics.TotalTime = time.Since(p.start)
 	if sp != nil {
 		sp.Arg("vertices", info.Vertices)

@@ -93,16 +93,33 @@ func checkWeight(line int, w float64) error {
 // default 1); blank lines and '#' comments are skipped; an optional
 // "n <count>" line fixes the vertex count (otherwise 1 + max id).
 //
+// The reader streams: once the vertex count is known — from an "n <count>"
+// header, which our own writer always emits first — every subsequent edge
+// feeds a chunked CSR builder directly, so peak memory tracks the graph
+// under construction, never a full []Edge materialization of the input.
+// Edges seen before a header are buffered and replayed into the builder
+// when the count is learned (at the header, or at EOF from 1 + max id).
+//
 // Malformed input — syntax errors, negative or oversized vertex ids,
-// non-finite or non-positive weights — returns a line-numbered error
-// wrapping graph.ErrInvalidInput.
+// non-finite or non-positive weights, conflicting "n" headers, more than
+// MaxEntries edges — returns a line-numbered error wrapping
+// graph.ErrInvalidInput. The MaxEntries bound fires mid-stream and its
+// error reports how many bytes the reader held at that point.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var edges []graph.Edge
+	var b *graph.Builder     // live once the vertex count is known
+	var pending []graph.Edge // edges seen before any "n" header
 	n := -1
 	maxID := -1
 	line := 0
+	entries := int64(0)
+	buffered := func() int64 {
+		if b != nil {
+			return b.BufferedBytes()
+		}
+		return int64(24 * cap(pending))
+	}
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -121,7 +138,22 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 			if v > MaxVertices {
 				return nil, badInput(line, "vertex count %d exceeds the %d limit", v, MaxVertices)
 			}
+			if b != nil {
+				if v != n {
+					return nil, badInput(line, "conflicting vertex counts %d and %d", n, v)
+				}
+				continue
+			}
 			n = v
+			if b, err = graph.NewBuilder(n, graph.MergeSum); err != nil {
+				return nil, badInput(line, "%v", err)
+			}
+			for _, e := range pending {
+				if err := b.Add(e.U, e.V, e.W); err != nil {
+					return nil, badInput(line, "%v", err)
+				}
+			}
+			pending = nil
 			continue
 		}
 		if len(fields) < 2 || len(fields) > 3 {
@@ -154,7 +186,17 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 				return nil, err
 			}
 		}
-		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+		entries++
+		if entries > MaxEntries {
+			return nil, badInput(line, "entry count exceeds the %d limit (%d bytes buffered)", MaxEntries, buffered())
+		}
+		if b != nil {
+			if err := b.Add(u, v, w); err != nil {
+				return nil, badInput(line, "%v", err)
+			}
+		} else {
+			pending = append(pending, graph.Edge{U: u, V: v, W: w})
+		}
 		if u > maxID {
 			maxID = u
 		}
@@ -165,13 +207,14 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if n < 0 {
-		n = maxID + 1
+	if b != nil {
+		if maxID >= n {
+			return nil, fmt.Errorf("gio: vertex id %d outside declared count %d: %w", maxID, n, graph.ErrInvalidInput)
+		}
+		return b.Finish()
 	}
-	if maxID >= n {
-		return nil, fmt.Errorf("gio: vertex id %d outside declared count %d: %w", maxID, n, graph.ErrInvalidInput)
-	}
-	return graph.NewFromEdges(n, edges)
+	// Headerless input: the count was only known at EOF.
+	return graph.NewFromEdges(maxID+1, pending)
 }
 
 // ReadMatrixMarket parses a MatrixMarket coordinate file as a weighted
@@ -238,16 +281,15 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 	if nnz > MaxEntries {
 		return nil, badInput(line, "entry count %d exceeds the %d limit", nnz, MaxEntries)
 	}
-	type key struct{ u, v int }
-	// Size the map by the declared nnz, but cap the pre-allocation: the
-	// declaration is untrusted until that many entries have actually been
-	// parsed, and an unchecked make(map, nnz) is an OOM on a hostile size
-	// line with no data behind it.
-	hint := nnz
-	if hint > 1<<20 {
-		hint = 1 << 20
+	// Entries stream straight into a chunked CSR builder under the
+	// MergeMax policy (the symmetric mirror of a stored entry must not
+	// double the weight). The builder allocates in proportion to the data
+	// actually read — the declared sizes remain untrusted hints, so a
+	// hostile size line with no data behind it costs nothing.
+	b, err := graph.NewBuilder(rows, graph.MergeMax)
+	if err != nil {
+		return nil, badInput(line, "%v", err)
 	}
-	weights := make(map[key]float64, hint)
 	read := 0
 	for read < nnz && sc.Scan() {
 		line++
@@ -293,12 +335,8 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 			}
 		}
 		u, v := i-1, j-1 // MatrixMarket is 1-based
-		if u > v {
-			u, v = v, u
-		}
-		k := key{u, v}
-		if prev, ok := weights[k]; !ok || w > prev {
-			weights[k] = w
+		if err := b.Add(u, v, w); err != nil {
+			return nil, badInput(line, "%v", err)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -308,11 +346,7 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 		return nil, fmt.Errorf("gio: expected %d entries, found %d: %w", nnz, read, graph.ErrInvalidInput)
 	}
 	_ = symmetric // both triangles collapse into the same undirected edge
-	edges := make([]graph.Edge, 0, len(weights))
-	for k, w := range weights {
-		edges = append(edges, graph.Edge{U: k.u, V: k.v, W: w})
-	}
-	return graph.NewFromEdges(rows, edges)
+	return b.Finish()
 }
 
 // WriteMatrixMarket writes the Laplacian of g as a symmetric real

@@ -2,6 +2,7 @@ package gio
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -176,5 +177,56 @@ func TestMatrixMarketGeneralBothTriangles(t *testing.T) {
 	}
 	if w, _ := g.Weight(0, 1); w != 3 {
 		t.Errorf("weight = %v", w)
+	}
+}
+
+// The streamed (header-first) and buffered (headerless) edge-list paths must
+// agree: same graph whether the "n" line arrives first, last, or never.
+func TestReadEdgeListHeaderPlacement(t *testing.T) {
+	body := "0 1 2.5\n1 2 0.5\n0 2 1.25\n"
+	headerFirst, err := ReadEdgeList(strings.NewReader("n 4\n" + body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLast, err := ReadEdgeList(strings.NewReader(body + "n 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(headerFirst, headerLast) {
+		t.Error("header placement changed the parsed graph")
+	}
+	headerless, err := ReadEdgeList(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if headerless.N() != 3 || headerless.M() != 3 {
+		t.Errorf("headerless parse: n=%d m=%d", headerless.N(), headerless.M())
+	}
+	// A repeated identical header is tolerated; a conflicting one is not.
+	if _, err := ReadEdgeList(strings.NewReader("n 4\nn 4\n" + body)); err != nil {
+		t.Errorf("repeated identical header rejected: %v", err)
+	}
+	if _, err := ReadEdgeList(strings.NewReader("n 4\n" + body + "n 5\n")); !errors.Is(err, graph.ErrInvalidInput) {
+		t.Errorf("conflicting header: got %v, want ErrInvalidInput", err)
+	}
+}
+
+// Streamed parses enforce vertex bounds against the declared count as each
+// edge arrives, with the offending line number.
+func TestReadEdgeListStreamedBounds(t *testing.T) {
+	_, err := ReadEdgeList(strings.NewReader("n 3\n0 1 1\n1 7 1\n"))
+	if !errors.Is(err, graph.ErrInvalidInput) {
+		t.Fatalf("out-of-range streamed edge: got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error lacks the offending line number: %v", err)
+	}
+	// Duplicate edges merge by summing, matching NewFromEdges semantics.
+	g, err := ReadEdgeList(strings.NewReader("n 2\n0 1 1.5\n1 0 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.Weight(0, 1); w != 3.5 {
+		t.Errorf("duplicate merge: w = %v, want 3.5", w)
 	}
 }

@@ -1,0 +1,192 @@
+package graph
+
+// Builder assembles a CSR graph from a stream of edges without ever holding
+// one flat []Edge: edges land in fixed-size chunks, per-vertex degrees are
+// counted as they arrive, and Finish fills the CSR arrays directly from the
+// chunks and merges parallel edges per vertex. Compared to collecting a full
+// edge list and calling NewFromEdges, this avoids both the append-growth
+// overshoot (up to 2× the final size) and the global O(m log m) sort — the
+// merge is a per-vertex stable sort over each adjacency run instead. The
+// streaming readers in internal/gio feed this builder chunk by chunk so peak
+// memory tracks the graph, not the input file.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MergePolicy says how Builder combines parallel (duplicate) edges.
+type MergePolicy int
+
+const (
+	// MergeSum adds the weights of parallel edges — the edge-list and
+	// NewFromEdges semantics.
+	MergeSum MergePolicy = iota
+	// MergeMax keeps the heaviest of parallel edges — the MatrixMarket
+	// semantics, where the symmetric mirror of an explicitly stored entry
+	// must not double the weight.
+	MergeMax
+)
+
+// builderChunk is the number of edges buffered per chunk. Chunks are
+// allocated at exactly this size, so the buffer never over-allocates the way
+// a grown []Edge does.
+const builderChunk = 1 << 16
+
+// Builder accumulates a stream of edges for a graph with a fixed vertex
+// count and produces the CSR form in one Finish call. It is not safe for
+// concurrent use.
+//
+// The degree array grows lazily with the largest vertex id actually
+// referenced, so a Builder declared for a huge n costs nothing until edges
+// mentioning high ids arrive — the property the hardened input parsers rely
+// on against hostile size declarations.
+type Builder struct {
+	n      int
+	policy MergePolicy
+	deg    []int // per-vertex half-edge count, pre-merge; grows with max id seen
+	chunks [][]Edge
+	count  int64
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int, policy MergePolicy) (*Builder, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d: %w", n, ErrBadDimension)
+	}
+	return &Builder{n: n, policy: policy}, nil
+}
+
+// N returns the declared vertex count.
+func (b *Builder) N() int { return b.n }
+
+// Count returns the number of edges added so far (before merging).
+func (b *Builder) Count() int64 { return b.count }
+
+// BufferedBytes returns the bytes currently held by the builder: buffered
+// edge chunks plus the degree array. This is the figure the streaming
+// readers report when an input exceeds its entry budget mid-stream.
+func (b *Builder) BufferedBytes() int64 {
+	edges := 0
+	for _, c := range b.chunks {
+		edges += cap(c)
+	}
+	return int64(24*edges + 8*len(b.deg))
+}
+
+// Add appends one undirected edge. It validates endpoints and weight with
+// the same rules as NewFromEdges: in-range, no self-loops, weight strictly
+// positive and finite.
+func (b *Builder) Add(u, v int, w float64) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d): %w", u, v, b.n, ErrBadDimension)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at vertex %d", u)
+	}
+	if !(w > 0) || math.IsInf(w, 0) {
+		return fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", u, v, w)
+	}
+	last := len(b.chunks) - 1
+	if last < 0 || len(b.chunks[last]) == builderChunk {
+		b.chunks = append(b.chunks, make([]Edge, 0, builderChunk))
+		last++
+	}
+	b.chunks[last] = append(b.chunks[last], Edge{U: u, V: v, W: w})
+	hi := u
+	if v > hi {
+		hi = v
+	}
+	for hi >= len(b.deg) {
+		b.deg = append(b.deg, 0)
+	}
+	b.deg[u]++
+	b.deg[v]++
+	b.count++
+	return nil
+}
+
+// Finish merges parallel edges and returns the CSR graph. The builder keeps
+// no reference to the result and must not be reused afterwards.
+//
+// Parallel edges are merged per adjacency run with a stable sort by neighbor
+// id, so duplicates combine in insertion order — both endpoints of a
+// duplicated edge see the identical merged weight, and the resulting
+// adjacency is neighbor-sorted exactly like NewFromEdges output.
+func (b *Builder) Finish() (*Graph, error) {
+	n := b.n
+	g := &Graph{
+		off: make([]int, n+1),
+		adj: make([]int, 2*b.count),
+		w:   make([]float64, 2*b.count),
+		vol: make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		d := 0
+		if v < len(b.deg) {
+			d = b.deg[v]
+		}
+		g.off[v+1] = g.off[v] + d
+	}
+	fill := make([]int, n)
+	copy(fill, g.off[:n])
+	for _, c := range b.chunks {
+		for _, e := range c {
+			g.adj[fill[e.U]], g.w[fill[e.U]] = e.V, e.W
+			fill[e.U]++
+			g.adj[fill[e.V]], g.w[fill[e.V]] = e.U, e.W
+			fill[e.V]++
+		}
+	}
+	b.chunks = nil
+	// Sort each adjacency run by neighbor id (stable, so parallel edges stay
+	// in insertion order) and merge duplicates in place.
+	out := 0
+	for v := 0; v < n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		run := adjRun{adj: g.adj[lo:hi], w: g.w[lo:hi]}
+		if !sort.IsSorted(run) {
+			sort.Stable(run)
+		}
+		g.off[v] = out
+		for i := lo; i < hi; i++ {
+			if out > g.off[v] && g.adj[out-1] == g.adj[i] {
+				switch b.policy {
+				case MergeSum:
+					g.w[out-1] += g.w[i]
+				case MergeMax:
+					if g.w[i] > g.w[out-1] {
+						g.w[out-1] = g.w[i]
+					}
+				}
+				continue
+			}
+			g.adj[out], g.w[out] = g.adj[i], g.w[i]
+			out++
+		}
+		for i := g.off[v]; i < out; i++ {
+			g.vol[v] += g.w[i]
+		}
+	}
+	g.off[n] = out
+	if out < len(g.adj) {
+		g.adj = g.adj[:out:out]
+		g.w = g.w[:out:out]
+	}
+	return g, nil
+}
+
+// adjRun sorts one vertex's adjacency slice by neighbor id, keeping weights
+// parallel.
+type adjRun struct {
+	adj []int
+	w   []float64
+}
+
+func (r adjRun) Len() int           { return len(r.adj) }
+func (r adjRun) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r adjRun) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}

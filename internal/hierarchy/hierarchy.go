@@ -28,7 +28,17 @@ type Options struct {
 	DirectLimit int   // coarsest-level size solved densely
 	MaxLevels   int   // hard cap on depth
 	Smooth      int   // damped-Jacobi pre/post smoothing sweeps per level
+	// Shards splits each level's clustering into that many concurrently
+	// built vertex-range shards while the level graph is large enough
+	// (≥ shardMinVertices); smaller levels always build single-pass. 0 or 1
+	// keeps every level single-pass (bit-identical to pre-shard builds).
+	Shards int
 }
+
+// shardMinVertices gates per-level sharding: below this size a level's
+// clustering is cheap enough that shard bookkeeping (partition + stitch)
+// costs more than the fan-out saves.
+const shardMinVertices = 1 << 15
 
 // DefaultOptions: clusters of ~4, 600-vertex coarse solves, one smoothing
 // sweep.
@@ -99,7 +109,13 @@ func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (h *Hierarchy, err
 			lctx, lsp = obs.StartSpan(ctx, fmt.Sprintf("hierarchy/level-%d", level))
 			lsp.Arg("vertices", cur.N())
 		}
-		d, err := decomp.FixedDegreeCtx(lctx, cur, opt.SizeCap, opt.Seed+int64(level))
+		var d *decomp.Decomposition
+		var err error
+		if opt.Shards > 1 && cur.N() >= shardMinVertices {
+			d, _, err = decomp.FixedDegreeShardedCtx(lctx, cur, opt.SizeCap, opt.Seed+int64(level), opt.Shards)
+		} else {
+			d, err = decomp.FixedDegreeCtx(lctx, cur, opt.SizeCap, opt.Seed+int64(level))
+		}
 		lsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("hierarchy: level %d clustering failed: %w", level, err)

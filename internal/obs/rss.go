@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// PeakRSS returns the process's resident-set high-water mark in bytes, read
+// from the VmHWM line of /proc/self/status. It returns 0 on platforms (or
+// sandboxes) that do not expose it — callers treat 0 as "unknown", never as
+// a measurement. Unlike Go heap statistics this covers everything the
+// process ever had resident: Go heap, stacks, runtime, and mapped files.
+func PeakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	return parseVmHWM(data)
+}
+
+// parseVmHWM extracts the VmHWM value (reported in kB) from a
+// /proc/self/status image.
+func parseVmHWM(data []byte) int64 {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		rest, ok := bytes.CutPrefix(line, []byte("VmHWM:"))
+		if !ok {
+			continue
+		}
+		fields := bytes.Fields(rest)
+		if len(fields) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

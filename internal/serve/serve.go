@@ -35,6 +35,11 @@ type Config struct {
 	// Hierarchy is the default build configuration; per-submit query
 	// parameters override it. Zero value = hcd.DefaultHierarchyOptions.
 	Hierarchy hcd.HierarchyOptions
+	// AutoShardVertices turns on sharded hierarchy builds for submissions
+	// of at least this many vertices when the build options do not set a
+	// shard count themselves; the shard count follows the worker count.
+	// Default 200 000; negative disables auto-sharding.
+	AutoShardVertices int
 	// Admission tunes the per-tenant token buckets.
 	Admission AdmissionConfig
 	// Registry receives the serve_* metric family (nil = a fresh registry;
@@ -59,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Hierarchy == (hcd.HierarchyOptions{}) {
 		c.Hierarchy = hcd.DefaultHierarchyOptions()
+	}
+	if c.AutoShardVertices == 0 {
+		c.AutoShardVertices = 200_000
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -91,6 +99,7 @@ func New(cfg Config) *Server {
 		mux: http.NewServeMux(),
 	}
 	s.store = newStore(cfg.MaxHandles, cfg.MaxBytes, cfg.PoolSize, cfg.Hierarchy, s.reg, s.tr)
+	s.store.autoShard = cfg.AutoShardVertices
 	s.routes()
 	return s
 }

@@ -213,6 +213,53 @@ func RandomRegular(n, d int, wf func(rng *rand.Rand) float64, seed int64) (*grap
 	return nil, fmt.Errorf("workload: failed to build %d-regular graph on %d vertices after %d attempts", d, n, maxAttempts)
 }
 
+// PowerLaw returns a preferential-attachment (Barabási–Albert) graph on n
+// vertices: after an initial star over the first m+1 vertices, each arriving
+// vertex attaches m edges to existing vertices chosen proportionally to their
+// current degree, producing the heavy-tailed degree distribution of power-law
+// networks — the irregular counterpart to the grid workloads, with hubs that
+// stress boundary handling in sharded decompositions. Weights are drawn by wf
+// (nil for unit). Deterministic given seed. Requires 1 ≤ m < n.
+func PowerLaw(n, m int, wf func(rng *rand.Rand) float64, seed int64) (*graph.Graph, error) {
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("workload: invalid power-law parameters n=%d m=%d (want 1 <= m < n)", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	// targets holds one entry per half-edge endpoint; a uniform sample from it
+	// is a degree-proportional sample of the existing vertices.
+	targets := make([]int, 0, 2*m*(n-m))
+	es := make([]graph.Edge, 0, m*(n-m))
+	chosen := make([]int, 0, m)
+	for v := m; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			var t int
+			if len(targets) > 0 {
+				t = targets[rng.Intn(len(targets))]
+			} else {
+				t = rng.Intn(v)
+			}
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue // resample; m < n keeps a fresh target available
+			}
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			es = append(es, graph.Edge{U: v, V: t, W: draw()})
+			targets = append(targets, v, t)
+		}
+	}
+	return graph.MustFromEdges(n, es), nil
+}
+
 // Caterpillar returns a caterpillar tree: a spine path of length spine with
 // legs leaves attached to every spine vertex; unit weights unless wf given.
 func Caterpillar(spine, legs int, wf func(rng *rand.Rand) float64, seed int64) *graph.Graph {

@@ -1,0 +1,97 @@
+package hcd_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hcd"
+)
+
+// Shard counts must not change solve quality: the hierarchy preconditioner
+// built from a sharded decomposition has to converge in essentially the same
+// number of PCG iterations as the single-pass build. 10% is the contract the
+// scaling docs promise.
+func TestShardedSolveIterationInvariance(t *testing.T) {
+	graphs := map[string]*hcd.Graph{
+		"grid3d": hcd.Grid3D(14, 14, 14, hcd.LognormalWeights(1), 3),
+	}
+	if pl, err := hcd.PowerLaw(4000, 3, hcd.UniformWeights(0.5, 5), 11); err == nil {
+		graphs["powerlaw"] = pl
+	} else {
+		t.Fatal(err)
+	}
+	for name, g := range graphs {
+		rng := rand.New(rand.NewSource(7))
+		b := meanFree(rng, g.N())
+		iters := map[int]int{}
+		for _, shards := range []int{1, 2, 8} {
+			resp, err := hcd.Do(context.Background(), g, hcd.SolveRequest{
+				B: [][]float64{b},
+				Precond: hcd.PrecondSpec{
+					Kind: hcd.PrecondHierarchy, Shards: shards, Seed: 1,
+				},
+			})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			res := resp.Results[0]
+			if !res.Converged {
+				t.Fatalf("%s shards=%d: %s after %d iterations", name, shards, res.Outcome, res.Iterations)
+			}
+			iters[shards] = res.Iterations
+		}
+		base := iters[1]
+		for _, shards := range []int{2, 8} {
+			diff := iters[shards] - base
+			if diff < 0 {
+				diff = -diff
+			}
+			if 10*diff > base {
+				t.Errorf("%s: shards=%d takes %d PCG iterations vs %d single-pass (>10%% apart)",
+					name, shards, iters[shards], base)
+			}
+		}
+	}
+}
+
+// DecomposeCtx exposes the shard plumbing end to end: stats populated,
+// Shards=1 identical to the default path.
+func TestDecomposeShardsOption(t *testing.T) {
+	g := hcd.Grid3D(12, 12, 12, hcd.LognormalWeights(1), 5)
+	single, err := hcd.DecomposeCtx(context.Background(), g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.ShardStats.Shards != 1 {
+		t.Errorf("default build reports %d shards, want 1", single.ShardStats.Shards)
+	}
+	sharded, err := hcd.DecomposeCtx(context.Background(), g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: 4, Seed: 2, Shards: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.ShardStats.Shards != 8 {
+		t.Errorf("sharded build reports %d shards, want 8", sharded.ShardStats.Shards)
+	}
+	if sharded.ShardStats.BoundaryEdges == 0 {
+		t.Error("sharded build counted no boundary edges")
+	}
+	if len(sharded.D.Assign) != g.N() {
+		t.Fatalf("assign length %d, want %d", len(sharded.D.Assign), g.N())
+	}
+	one, err := hcd.DecomposeCtx(context.Background(), g, hcd.DecomposeOptions{
+		Method: hcd.MethodFixedDegree, SizeCap: 4, Seed: 2, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range one.D.Assign {
+		if one.D.Assign[v] != single.D.Assign[v] {
+			t.Fatal("Shards=1 differs from the default single-pass build")
+		}
+	}
+}

@@ -63,6 +63,12 @@ func RandomRegular(n, d int, wf WeightFn, seed int64) (*Graph, error) {
 	return workload.RandomRegular(n, d, wf, seed)
 }
 
+// PowerLaw returns a preferential-attachment graph on n vertices with m
+// edges per arriving vertex — a heavy-tailed irregular workload (1 ≤ m < n).
+func PowerLaw(n, m int, wf WeightFn, seed int64) (*Graph, error) {
+	return workload.PowerLaw(n, m, wf, seed)
+}
+
 // RandomTree returns a uniformly random labeled tree (Prüfer sampling).
 func RandomTree(n int, wf WeightFn, seed int64) *Graph {
 	rng := rand.New(rand.NewSource(seed))
