@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-decomp bench-json bench-scale scale-smoke vet fmt check race race-solver selfcheck chaos fuzz server-smoke experiments fig6 coverage
+.PHONY: all build test bench bench-decomp bench-json bench-scale scale-smoke vet fmt check race race-solver selfcheck chaos server-chaos fuzz server-smoke experiments fig6 coverage
 
 all: build test
 
@@ -18,9 +18,9 @@ vet:
 
 # check is the pre-merge gate: vet, the full suite under the race detector
 # (the parallel solver kernels run with GOMAXPROCS > 1 in tests), a short
-# fuzz pass over the input parsers, the fault-recovery chaos battery, and
-# the serving-stack smoke battery.
-check: vet race fuzz chaos server-smoke
+# fuzz pass over the input parsers, the fault-recovery chaos battery, the
+# serving-stack smoke battery, and the serving crash/recovery battery.
+check: vet race fuzz chaos server-smoke server-chaos
 
 race:
 	$(GO) test -race ./...
@@ -54,14 +54,25 @@ selfcheck:
 chaos:
 	$(GO) run ./cmd/hcd-selfcheck -chaos
 
+# server-chaos: the serving-layer durability battery — servers are crashed
+# (in-process and via real SIGKILL) and restarted on the same -state-dir,
+# snapshots are corrupted on disk, and the snapshot-write / snapshot-read /
+# build-fail / solve-delay fault points are injected; asserts
+# restore-without-rebuild, quarantine, breaker degradation to CG, and
+# deadline status mapping.
+server-chaos:
+	$(GO) run ./cmd/hcd-selfcheck -server-chaos
+
 # fuzz: short fuzzing passes over the graph input parsers with a
-# write/reparse round-trip oracle, and over the stub-aware exact conductance
-# certifier with the brute-force cut enumeration as a differential oracle
-# (go fuzzing runs one target at a time).
+# write/reparse round-trip oracle, over the stub-aware exact conductance
+# certifier with the brute-force cut enumeration as a differential oracle,
+# and over the binary snapshot decoders with a decode/re-encode round-trip
+# oracle (go fuzzing runs one target at a time).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime=10s ./internal/gio
 	$(GO) test -run '^$$' -fuzz FuzzReadMatrixMarket -fuzztime=10s ./internal/gio
 	$(GO) test -run '^$$' -fuzz FuzzExactConductance -fuzztime=10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime=10s ./internal/gio
 
 # bench-json: run the committed benchmark set and write the machine-readable
 # records (ns/op, B/op, allocs/op, host core count) behind BENCH.md:

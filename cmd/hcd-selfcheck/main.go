@@ -7,11 +7,19 @@
 //
 //	hcd-selfcheck -rounds 50 -seed 1
 //	hcd-selfcheck -chaos
+//	hcd-selfcheck -server-chaos
 //
 // The -chaos flag runs the deterministic fault-recovery battery instead of
 // the theorem checks: each chaos check injects a fault (NaN matvec, worker
 // panic, corrupted clustering, forced breakdown, malformed input) and
 // asserts the library recovers or fails cleanly as documented.
+//
+// The -server-chaos flag runs the serving-layer durability battery: servers
+// are crashed (in-process and via real SIGKILL) and restarted on the same
+// -state-dir, snapshots are corrupted, and the PR-8 fault points
+// (snapshot-write, snapshot-read, build-fail, solve-delay) are injected,
+// asserting restore-without-rebuild, quarantine, breaker degradation to CG,
+// and deadline status mapping.
 package main
 
 import (
@@ -33,6 +41,7 @@ func main() {
 	rounds := flag.Int("rounds", 25, "random instances per check")
 	seed := flag.Int64("seed", 1, "base seed")
 	chaos := flag.Bool("chaos", false, "run the deterministic fault-recovery battery instead of the theorem checks")
+	serverChaos := flag.Bool("server-chaos", false, "run the serving-layer crash/recovery battery instead of the theorem checks")
 	o := cli.ObsFlags()
 	flag.Parse()
 
@@ -42,8 +51,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *chaos {
-		bad := chaosChecks()
+	if *chaos || *serverChaos {
+		bad := 0
+		if *chaos {
+			bad += chaosChecks()
+		}
+		if *serverChaos {
+			bad += serverChaosChecks()
+		}
 		if cerr := o.Close(); cerr != nil {
 			log.Fatal(cerr)
 		}

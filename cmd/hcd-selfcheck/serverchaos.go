@@ -1,0 +1,420 @@
+package main
+
+// The -server-chaos mode: a crash/recovery battery for the serving layer's
+// durability and degradation machinery (PR 8). Each check wires a server —
+// usually in-process over httptest, once as a real child process killed with
+// SIGKILL — through one failure mode and asserts the documented recovery:
+// restarts restore handles without rebuilding, corrupt snapshots quarantine
+// instead of crashing, the build circuit breaker degrades solves to CG, and
+// deadline budgets map to the right status codes. All four PR-8 fault points
+// (gio/snapshot-write, gio/snapshot-read, serve/build-fail,
+// serve/solve-delay) fire somewhere in the battery.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hcd/internal/faultinject"
+	"hcd/internal/obs"
+	"hcd/internal/serve"
+)
+
+// serverChaosChecks runs the battery and returns the failure count.
+func serverChaosChecks() int {
+	checks := []struct {
+		name string
+		run  func() error
+	}{
+		{"state-dir restart: handle restores ready, zero rebuild", scRestartRestores},
+		{"corrupt snapshot: quarantined and rebuilt, not fatal", scCorruptSnapshot},
+		{"snapshot-read fault: unrecoverable handle fails cleanly", scSnapshotReadFault},
+		{"build-fail breaker: solves degrade to the CG rung", scBreakerDegrades},
+		{"solve-delay + budget: deadline expiry maps to 504", scDeadline504},
+		{"snapshot-write fault: handle serves memory-only", scSnapshotWriteFault},
+		{"kill -9 mid-build: restart restores built handles", scKillDashNine},
+	}
+	bad := 0
+	for _, c := range checks {
+		status := "ok"
+		if err := c.run(); err != nil {
+			status = fmt.Sprintf("FAIL: %v", err)
+			bad++
+		}
+		fmt.Printf("server-chaos: %-52s %s\n", c.name, status)
+	}
+	return bad
+}
+
+// scClient is a minimal JSON client for the in-process checks.
+type scClient struct{ base string }
+
+func (c scClient) do(method, path string, body any) (int, map[string]any, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) > 0 {
+		_ = json.Unmarshal(raw, &out)
+	}
+	return resp.StatusCode, out, nil
+}
+
+// scServer spins up an in-process server over httptest.
+func scServer(cfg serve.Config) (*serve.Server, scClient, func()) {
+	srv := serve.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	return srv, scClient{base: ts.URL}, ts.Close
+}
+
+func scSubmitReady(c scClient, spec string) (string, error) {
+	code, body, err := c.do("POST", "/v1/graphs?spec="+spec+"&wait=true", nil)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusCreated {
+		return "", fmt.Errorf("submit %s: code %d body %v", spec, code, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		return "", fmt.Errorf("submit %s: no id in %v", spec, body)
+	}
+	return id, nil
+}
+
+func scRestartRestores() error {
+	dir, err := os.MkdirTemp("", "hcd-server-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srvA, cA, closeA := scServer(serve.Config{StateDir: dir})
+	id, err := scSubmitReady(cA, "grid3d:8")
+	if err != nil {
+		return err
+	}
+	srvA.Close() // crash, no drain
+	closeA()
+
+	tr := obs.NewTracer()
+	_, cB, closeB := scServer(serve.Config{StateDir: dir, Tracer: tr})
+	defer closeB()
+	code, body, err := cB.do("GET", "/v1/graphs/"+id, nil)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("restored handle poll: code %d err %v", code, err)
+	}
+	if body["status"] != "ready" || body["restored"] != true {
+		return fmt.Errorf("restored handle state %v, want ready+restored", body)
+	}
+	code, body, err = cB.do("POST", "/v1/graphs/"+id+"/solve", map[string]any{"rhs": 1})
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("restored solve: code %d body %v err %v", code, body, err)
+	}
+	for _, sp := range tr.Spans() {
+		if strings.Contains(sp.Name, "build") {
+			return fmt.Errorf("restored server recorded build span %q — restore must not rebuild", sp.Name)
+		}
+	}
+	return nil
+}
+
+func scCorruptSnapshot() error {
+	dir, err := os.MkdirTemp("", "hcd-server-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srvA, cA, closeA := scServer(serve.Config{StateDir: dir})
+	id, err := scSubmitReady(cA, "grid3d:8")
+	if err != nil {
+		return err
+	}
+	srvA.Close()
+	closeA()
+
+	snap := filepath.Join(dir, id+".snap")
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)-1] ^= 0xff // hierarchy data damaged, graph section intact
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		return err
+	}
+
+	_, cB, closeB := scServer(serve.Config{StateDir: dir})
+	defer closeB()
+	code, body, err := cB.do("POST", "/v1/graphs/"+id+"/solve", map[string]any{"rhs": 1, "wait": true})
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("solve after quarantine+rebuild: code %d body %v err %v", code, body, err)
+	}
+	if _, err := os.Stat(snap + ".corrupt"); err != nil {
+		return fmt.Errorf("damaged snapshot not quarantined: %v", err)
+	}
+	return nil
+}
+
+func scSnapshotReadFault() error {
+	dir, err := os.MkdirTemp("", "hcd-server-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srvA, cA, closeA := scServer(serve.Config{StateDir: dir})
+	id, err := scSubmitReady(cA, "grid3d:6")
+	if err != nil {
+		return err
+	}
+	srvA.Close()
+	closeA()
+
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.SnapshotRead: {}, // every hydration read fails
+	})
+	defer restore()
+
+	_, cB, closeB := scServer(serve.Config{StateDir: dir})
+	defer closeB()
+	code, body, err := cB.do("POST", "/v1/graphs/"+id+"/solve", map[string]any{"rhs": 1})
+	if err != nil {
+		return err
+	}
+	if code != http.StatusUnprocessableEntity {
+		return fmt.Errorf("solve on unreadable snapshot: code %d body %v, want 422", code, body)
+	}
+	if faultinject.Hits(faultinject.SnapshotRead) == 0 {
+		return fmt.Errorf("snapshot-read fault point never hit")
+	}
+	// The server survives and serves fresh work.
+	if _, err := scSubmitReady(cB, "grid3d:5"); err != nil {
+		return fmt.Errorf("server unusable after read fault: %w", err)
+	}
+	return nil
+}
+
+func scBreakerDegrades() error {
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.BuildFail: {}, // every build attempt fails
+	})
+	defer restore()
+
+	_, c, closeS := scServer(serve.Config{BreakerThreshold: 2})
+	defer closeS()
+	code, body, err := c.do("POST", "/v1/graphs?spec=grid3d:6&wait=true", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated || body["status"] != "failed" {
+		return fmt.Errorf("submit under build-fail: code %d body %v", code, body)
+	}
+	id := body["id"].(string)
+
+	// First solve 422s and schedules the retry that trips the breaker.
+	if code, _, err = c.do("POST", "/v1/graphs/"+id+"/solve", map[string]any{"rhs": 1}); err != nil {
+		return err
+	} else if code != http.StatusUnprocessableEntity {
+		return fmt.Errorf("solve on failed handle: code %d, want 422", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body, err = c.do("GET", "/v1/graphs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		if body["status"] == "degraded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("breaker never opened; handle stuck at %v", body["status"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code, body, err = c.do("POST", "/v1/graphs/"+id+"/solve", map[string]any{"rhs": 1})
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("degraded solve: code %d body %v err %v", code, body, err)
+	}
+	res := body["results"].([]any)[0].(map[string]any)
+	if body["degraded"] != true || res["rung"] != "cg" || res["converged"] != true {
+		return fmt.Errorf("degraded solve result %v, want converged on rung cg", body)
+	}
+	return nil
+}
+
+func scDeadline504() error {
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.SolveDelay: {Delay: 300 * time.Millisecond, DelayOnly: true},
+	})
+	defer restore()
+
+	_, c, closeS := scServer(serve.Config{})
+	defer closeS()
+	id, err := scSubmitReady(c, "grid3d:6")
+	if err != nil {
+		return err
+	}
+	code, body, err := c.do("POST", "/v1/graphs/"+id+"/solve?timeout_ms=50", map[string]any{"rhs": 1})
+	if err != nil {
+		return err
+	}
+	if code != http.StatusGatewayTimeout {
+		return fmt.Errorf("expired budget: code %d body %v, want 504", code, body)
+	}
+	if faultinject.Hits(faultinject.SolveDelay) == 0 {
+		return fmt.Errorf("solve-delay fault point never hit")
+	}
+	return nil
+}
+
+func scSnapshotWriteFault() error {
+	restore := faultinject.Activate(map[string]faultinject.Spec{
+		faultinject.SnapshotWrite: {},
+	})
+	defer restore()
+
+	dir, err := os.MkdirTemp("", "hcd-server-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	_, c, closeS := scServer(serve.Config{StateDir: dir})
+	defer closeS()
+	id, err := scSubmitReady(c, "grid3d:6")
+	if err != nil {
+		return fmt.Errorf("write fault must not poison the build: %w", err)
+	}
+	if code, body, err := c.do("POST", "/v1/graphs/"+id+"/solve", map[string]any{"rhs": 1}); err != nil || code != http.StatusOK {
+		return fmt.Errorf("memory-only solve: code %d body %v err %v", code, body, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".snap")); !os.IsNotExist(err) {
+		return fmt.Errorf("failed snapshot write left a file")
+	}
+	if faultinject.Hits(faultinject.SnapshotWrite) == 0 {
+		return fmt.Errorf("snapshot-write fault point never hit")
+	}
+	return nil
+}
+
+// scKillDashNine is the end-to-end crash test: a real hcd-server child
+// process is SIGKILLed while a second build is in flight, then restarted on
+// the same state dir. The handle whose ?wait=true submit returned before the
+// kill must restore ready and solve without a rebuild. Skipped (ok) when the
+// go toolchain is unavailable to build the server binary.
+func scKillDashNine() error {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		fmt.Println("server-chaos:   (kill -9 check skipped: go toolchain not in PATH)")
+		return nil
+	}
+	work, err := os.MkdirTemp("", "hcd-server-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "hcd-server")
+	if out, err := exec.Command(goBin, "build", "-o", bin, "./cmd/hcd-server").CombinedOutput(); err != nil {
+		return fmt.Errorf("building hcd-server: %v: %s", err, out)
+	}
+	stateDir := filepath.Join(work, "state")
+
+	start := func() (*exec.Cmd, scClient, error) {
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, scClient{}, err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, scClient{}, err
+		}
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := strings.TrimSpace(line[i+len("listening on "):])
+				go io.Copy(io.Discard, stdout) // keep the pipe drained
+				return cmd, scClient{base: "http://" + addr}, nil
+			}
+		}
+		_ = cmd.Process.Kill()
+		return nil, scClient{}, fmt.Errorf("server never printed its address")
+	}
+
+	cmd, c, err := start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	id, err := scSubmitReady(c, "grid3d:8") // durable once wait returns
+	if err != nil {
+		return err
+	}
+	// Second build in flight at the moment of the kill.
+	if code, body, err := c.do("POST", "/v1/graphs?spec=grid3d:20", nil); err != nil || code != http.StatusCreated {
+		return fmt.Errorf("async submit: code %d body %v err %v", code, body, err)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL, no drain, no cleanup
+		return err
+	}
+	_, _ = cmd.Process.Wait()
+
+	cmd2, c2, err := start()
+	if err != nil {
+		return fmt.Errorf("restart after kill -9: %w", err)
+	}
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_, _ = cmd2.Process.Wait()
+	}()
+
+	code, body, err := c2.do("GET", "/v1/graphs/"+id, nil)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("restored handle poll: code %d body %v err %v", code, body, err)
+	}
+	if body["status"] != "ready" || body["restored"] != true {
+		return fmt.Errorf("handle after kill -9 restart: %v, want ready+restored", body)
+	}
+	code, body, err = c2.do("POST", "/v1/graphs/"+id+"/solve", map[string]any{"rhs": 1})
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("solve after kill -9 restart: code %d body %v err %v", code, body, err)
+	}
+	res := body["results"].([]any)[0].(map[string]any)
+	if res["converged"] != true {
+		return fmt.Errorf("restored solve did not converge: %v", body)
+	}
+	return nil
+}

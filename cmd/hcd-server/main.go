@@ -10,7 +10,15 @@
 //	hcd-server -addr :8080
 //	hcd-server -addr :8080 -max-handles 16 -max-bytes 536870912 -pool 4
 //	hcd-server -addr :8080 -rate 100 -burst 200 -queue 64 -policy sjf
+//	hcd-server -addr :8080 -state-dir /var/lib/hcd   # durable handles
+//	hcd-server -addr :8080 -max-timeout 30s -breaker 3
 //	hcd-server -smoke        # in-process smoke battery, exits 0/1
+//
+// With -state-dir, built hierarchies are snapshotted (checksummed binary
+// format + write-ahead manifest) and restored on restart without rebuilding;
+// corrupt snapshots are quarantined, never fatal. /healthz and /readyz serve
+// probes; ?timeout_ms= gives requests a deadline budget capped by
+// -max-timeout (expiry = 504, client disconnect = 408).
 //
 // Walkthrough:
 //
@@ -24,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +54,9 @@ func run() (err error) {
 	burst := flag.Float64("burst", 100, "admission token bucket capacity per tenant")
 	queue := flag.Int("queue", 64, "queued solve requests per tenant before 429")
 	policy := flag.String("policy", "fcfs", "admission queue order: fcfs | sjf")
+	stateDir := flag.String("state-dir", "", "durable handle state directory (empty = memory-only)")
+	breaker := flag.Int("breaker", 3, "consecutive build failures before a handle degrades to the CG fallback (negative disables)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on per-request ?timeout_ms deadline budgets (0 = uncapped)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM")
 	smoke := flag.Bool("smoke", false, "run the in-process smoke battery and exit")
 	o := cli.ObsFlags()
@@ -69,8 +81,11 @@ func run() (err error) {
 		Admission: serve.AdmissionConfig{
 			Rate: *rate, Burst: *burst, MaxQueue: *queue, Policy: serve.QueuePolicy(*policy),
 		},
-		Registry: o.Registry,
-		Tracer:   o.Tracer,
+		StateDir:         *stateDir,
+		BreakerThreshold: *breaker,
+		MaxTimeout:       *maxTimeout,
+		Registry:         o.Registry,
+		Tracer:           o.Tracer,
 	}
 
 	if *smoke {
@@ -78,14 +93,20 @@ func run() (err error) {
 	}
 
 	srv := serve.New(cfg)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{Handler: srv.Handler()}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	// Listen explicitly so the actual bound address is printable — with
+	// -addr :0 the chaos battery (and scripts) parse the port from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hcd-server listening on %s\n", *addr)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("hcd-server listening on %s\n", ln.Addr())
 
 	select {
 	case serr := <-errc:

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Fault point names. Each names one instrumented site; the site documents
@@ -58,6 +59,28 @@ const (
 	// becomes a singleton and the clustering achieves no reduction —
 	// the failure mode a re-seeded rebuild must recover from.
 	PerturbCorrupt = "decomp/perturb-corrupt"
+
+	// SnapshotWrite fails a gio snapshot encode (graph or hierarchy),
+	// modeling a full disk or I/O error during hierarchy persistence. The
+	// serving layer must keep the in-memory handle alive and count the
+	// failure instead of crashing or poisoning the handle.
+	SnapshotWrite = "gio/snapshot-write"
+
+	// SnapshotRead fails a gio snapshot decode, modeling on-disk corruption
+	// beyond what a flipped payload byte exercises. The serving layer must
+	// quarantine the snapshot and fall back to a rebuild.
+	SnapshotRead = "gio/snapshot-read"
+
+	// BuildFail fails a serve-layer hierarchy build (internal/serve
+	// store.build) before construction starts. Consecutive firings drive a
+	// handle's circuit breaker into the degraded state.
+	BuildFail = "serve/build-fail"
+
+	// SolveDelay stalls a serve-layer solve request just before the solver
+	// runs, for the configured Spec.Delay. Used with DelayOnly it injects
+	// pure latency — the tool for exercising deadline budgets (504s) and
+	// client-cancellation paths without slowing the solver itself.
+	SolveDelay = "serve/solve-delay"
 )
 
 // ErrInjected is the sentinel wrapped by every error manufactured by an
@@ -72,6 +95,14 @@ type Spec struct {
 	// Count is the number of consecutive hits that fire starting at OnHit;
 	// 0 means every hit from OnHit on.
 	Count int
+	// Delay, when positive, makes a firing hit sleep for this duration on
+	// the goroutine that hit the point — deterministic latency injection.
+	// The fault itself still fires afterwards unless DelayOnly is set.
+	Delay time.Duration
+	// DelayOnly suppresses the fault behavior of a firing hit: the hit
+	// sleeps for Delay (and notifies the observer) but Fire reports false
+	// and Err returns nil. Pure latency, no error.
+	DelayOnly bool
 }
 
 type point struct {
@@ -145,7 +176,9 @@ func Activate(specs map[string]Spec) (restore func()) {
 
 // Fire registers one hit on the named point and reports whether the fault
 // fires on this hit. With no active plan, or no spec for the point, it
-// reports false without counting.
+// reports false without counting. A firing hit with a Delay sleeps first;
+// a DelayOnly spec sleeps and notifies the observer but reports false —
+// latency without a fault.
 func Fire(name string) bool {
 	p := active.Load()
 	if p == nil {
@@ -162,10 +195,13 @@ func Fire(name string) bool {
 	if pt.spec.Count > 0 && h >= int64(pt.spec.OnHit+pt.spec.Count) {
 		return false
 	}
+	if pt.spec.Delay > 0 {
+		time.Sleep(pt.spec.Delay)
+	}
 	if o := observer.Load(); o != nil {
 		o.fn(name)
 	}
-	return true
+	return !pt.spec.DelayOnly
 }
 
 // Err is the error-shaped form of Fire: it returns an ErrInjected-wrapped

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestDisabledByDefault(t *testing.T) {
@@ -85,6 +86,52 @@ func TestActivateOverLivePlanPanics(t *testing.T) {
 		}
 	}()
 	Activate(nil)
+}
+
+func TestDelaySleepsThenFires(t *testing.T) {
+	const d = 30 * time.Millisecond
+	restore := Activate(map[string]Spec{SolveDelay: {Delay: d, Count: 1}})
+	defer restore()
+	start := time.Now()
+	if !Fire(SolveDelay) {
+		t.Fatal("delayed spec without DelayOnly must still fire")
+	}
+	if took := time.Since(start); took < d {
+		t.Fatalf("firing hit slept %v, want at least %v", took, d)
+	}
+	// Past the window: no sleep, no fire.
+	start = time.Now()
+	if Fire(SolveDelay) {
+		t.Fatal("fired past the window")
+	}
+	if took := time.Since(start); took >= d {
+		t.Fatalf("non-firing hit slept %v", took)
+	}
+}
+
+func TestDelayOnlySuppressesFault(t *testing.T) {
+	const d = 20 * time.Millisecond
+	restore := Activate(map[string]Spec{SolveDelay: {Delay: d, DelayOnly: true}})
+	defer restore()
+	var observed int
+	SetObserver(func(string) { observed++ })
+	defer SetObserver(nil)
+	start := time.Now()
+	if Fire(SolveDelay) {
+		t.Fatal("DelayOnly spec reported a fault")
+	}
+	if took := time.Since(start); took < d {
+		t.Fatalf("DelayOnly hit slept %v, want at least %v", took, d)
+	}
+	if err := Err(SolveDelay); err != nil {
+		t.Fatalf("DelayOnly Err = %v, want nil", err)
+	}
+	if observed != 2 {
+		t.Fatalf("observer saw %d DelayOnly firings, want 2", observed)
+	}
+	if Hits(SolveDelay) != 2 {
+		t.Fatalf("Hits = %d, want 2", Hits(SolveDelay))
+	}
 }
 
 func TestConcurrentFire(t *testing.T) {

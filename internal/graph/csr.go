@@ -1,0 +1,64 @@
+package graph
+
+// Raw CSR access for the snapshot codec (internal/gio). A Graph is immutable
+// and its CSR arrays fully determine it, so persistence serializes the arrays
+// verbatim and reconstruction adopts them after validation — no edge-list
+// round trip, no O(m log m) merge pass.
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR exposes the graph's raw arrays: off (len n+1, adjacency offsets), adj
+// (len 2m, neighbor ids) and w (len 2m, weights parallel to adj). The slices
+// are backed by the graph's own storage — callers must treat them as
+// read-only.
+func (g *Graph) CSR() (off []int, adj []int, w []float64) {
+	return g.off, g.adj, g.w
+}
+
+// NewFromCSR adopts CSR arrays as a graph, taking ownership of the slices.
+// It validates the structural invariants a corrupted or hostile encoding
+// could break — offset monotonicity and bounds, neighbor ranges, self-loops,
+// finite positive weights — and recomputes the volume array. Symmetry (every
+// edge appearing once per endpoint with equal weight) is the caller's
+// contract: the snapshot codec guards it with checksums rather than an
+// O(m·d) verification pass.
+func NewFromCSR(off []int, adj []int, w []float64) (*Graph, error) {
+	if len(off) < 1 || off[0] != 0 {
+		return nil, fmt.Errorf("graph: CSR offsets must start at 0: %w", ErrInvalidInput)
+	}
+	n := len(off) - 1
+	if len(adj) != len(w) {
+		return nil, fmt.Errorf("graph: CSR adjacency/weight length mismatch %d vs %d: %w", len(adj), len(w), ErrInvalidInput)
+	}
+	if off[n] != len(adj) {
+		return nil, fmt.Errorf("graph: CSR final offset %d does not match adjacency length %d: %w", off[n], len(adj), ErrInvalidInput)
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: CSR adjacency length %d is odd: %w", len(adj), ErrInvalidInput)
+	}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: CSR offsets decrease at vertex %d: %w", v, ErrInvalidInput)
+		}
+	}
+	g := &Graph{off: off, adj: adj, w: w, vol: make([]float64, n)}
+	for v := 0; v < n; v++ {
+		for i := off[v]; i < off[v+1]; i++ {
+			u := adj[i]
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("graph: CSR neighbor %d of vertex %d out of range [0,%d): %w", u, v, n, ErrInvalidInput)
+			}
+			if u == v {
+				return nil, fmt.Errorf("graph: CSR self-loop at vertex %d: %w", v, ErrInvalidInput)
+			}
+			if !(w[i] > 0) || math.IsInf(w[i], 0) {
+				return nil, fmt.Errorf("graph: CSR weight %v on edge (%d,%d) invalid: %w", w[i], v, u, ErrInvalidInput)
+			}
+			g.vol[v] += w[i]
+		}
+	}
+	return g, nil
+}

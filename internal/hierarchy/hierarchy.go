@@ -131,49 +131,64 @@ func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (h *Hierarchy, err
 			}
 			break
 		}
-		l := &Level{
-			G: cur, D: d, smooth: opt.Smooth,
-			dInv: make([]float64, cur.N()),
-			rq:   make([]float64, d.Count),
-			xq:   make([]float64, d.Count),
-			tmp:  make([]float64, cur.N()),
-			tmp2: make([]float64, cur.N()),
-		}
-		for v := 0; v < cur.N(); v++ {
-			if vol := cur.Vol(v); vol > 0 {
-				l.dInv[v] = 1 / vol
-			}
-		}
-		l.start = make([]int, d.Count+1)
-		for _, c := range d.Assign {
-			l.start[c+1]++
-		}
-		for c := 0; c < d.Count; c++ {
-			l.start[c+1] += l.start[c]
-		}
-		l.order = make([]int, cur.N())
-		fill := append([]int(nil), l.start[:d.Count]...)
-		for v, c := range d.Assign {
-			l.order[fill[c]] = v
-			fill[c]++
-		}
-		h.levels = append(h.levels, l)
+		h.levels = append(h.levels, newLevel(cur, d, opt.Smooth))
 		cur = cur.Contract(d.Assign, d.Count)
 	}
-	h.coarseG = cur
-	comp, ncomp := cur.Components()
-	lap := dense.FromRowMajor(cur.N(), cur.N(), cur.LapDense())
-	pin, err := dense.NewPinnedLaplacian(lap, comp, ncomp)
-	if err != nil {
-		return nil, fmt.Errorf("hierarchy: coarse factorization failed: %w", err)
+	if err := h.finish(cur); err != nil {
+		return nil, err
 	}
-	h.coarse = pin
-	h.cbuf = make([]float64, cur.N())
 	if hsp != nil {
 		hsp.Arg("levels", len(h.levels))
 		hsp.Arg("coarse_size", cur.N())
 	}
 	return h, nil
+}
+
+// newLevel materializes one layer: the diagonal inverse, the cluster-sorted
+// vertex order for the conflict-free parallel restriction, and the scratch
+// buffers sized for this level.
+func newLevel(cur *graph.Graph, d *decomp.Decomposition, smooth int) *Level {
+	l := &Level{
+		G: cur, D: d, smooth: smooth,
+		dInv: make([]float64, cur.N()),
+		rq:   make([]float64, d.Count),
+		xq:   make([]float64, d.Count),
+		tmp:  make([]float64, cur.N()),
+		tmp2: make([]float64, cur.N()),
+	}
+	for v := 0; v < cur.N(); v++ {
+		if vol := cur.Vol(v); vol > 0 {
+			l.dInv[v] = 1 / vol
+		}
+	}
+	l.start = make([]int, d.Count+1)
+	for _, c := range d.Assign {
+		l.start[c+1]++
+	}
+	for c := 0; c < d.Count; c++ {
+		l.start[c+1] += l.start[c]
+	}
+	l.order = make([]int, cur.N())
+	fill := append([]int(nil), l.start[:d.Count]...)
+	for v, c := range d.Assign {
+		l.order[fill[c]] = v
+		fill[c]++
+	}
+	return l
+}
+
+// finish installs the coarsest graph and its dense pinned factorization.
+func (h *Hierarchy) finish(cur *graph.Graph) error {
+	h.coarseG = cur
+	comp, ncomp := cur.Components()
+	lap := dense.FromRowMajor(cur.N(), cur.N(), cur.LapDense())
+	pin, err := dense.NewPinnedLaplacian(lap, comp, ncomp)
+	if err != nil {
+		return fmt.Errorf("hierarchy: coarse factorization failed: %w", err)
+	}
+	h.coarse = pin
+	h.cbuf = make([]float64, cur.N())
+	return nil
 }
 
 // Depth returns the number of clustering levels (excluding the direct

@@ -1,0 +1,84 @@
+package hierarchy
+
+// Structural persistence. A built hierarchy is fully determined by the fine
+// graph plus each level's cluster assignment: the quotient graphs, diagonal
+// inverses, restriction orders, scratch buffers and the dense coarse
+// factorization are all cheap, deterministic functions of those. DumpLevels
+// exports the minimal structure for the snapshot codec (internal/gio);
+// Rebuild reconstructs a hierarchy from it without re-running any clustering
+// — the expensive Section 3.1 work the snapshot exists to preserve.
+
+import (
+	"context"
+	"fmt"
+
+	"hcd/internal/decomp"
+	"hcd/internal/graph"
+	"hcd/internal/par"
+)
+
+// LevelAssign is the persisted shape of one level: the vertex-to-cluster
+// assignment on that level's graph and the cluster count.
+type LevelAssign struct {
+	Assign []int
+	Count  int
+}
+
+// DumpLevels exports the hierarchy's structural state: one LevelAssign per
+// clustering level (finest first) and the smoothing sweep count. The Assign
+// slices are backed by the hierarchy's own storage — callers must treat them
+// as read-only.
+func (h *Hierarchy) DumpLevels() (levels []LevelAssign, smooth int) {
+	levels = make([]LevelAssign, 0, len(h.levels))
+	for _, l := range h.levels {
+		levels = append(levels, LevelAssign{Assign: l.D.Assign, Count: l.D.Count})
+		smooth = l.smooth
+	}
+	return levels, smooth
+}
+
+// Rebuild reconstructs a hierarchy from a fine graph and dumped level
+// assignments: each level's quotient is recomputed by contraction and the
+// coarse factorization is redone — O(m) per level plus one small dense
+// factorization, no clustering. Assignments are validated against the level
+// graphs they apply to; a mismatch (truncated or corrupted dump) returns an
+// error wrapping graph.ErrInvalidInput. The context is only polled between
+// levels; rebuilds are fast enough that finer cancellation buys nothing.
+func Rebuild(ctx context.Context, g *graph.Graph, levels []LevelAssign, smooth int) (h *Hierarchy, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			h, err = nil, fmt.Errorf("hierarchy: panic during rebuild: %w", par.AsError(v))
+		}
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h = &Hierarchy{}
+	cur := g
+	for i, la := range levels {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, decomp.Cancelled(ctx)
+		}
+		if len(la.Assign) != cur.N() {
+			return nil, fmt.Errorf("hierarchy: level %d assignment covers %d vertices, graph has %d: %w",
+				i, len(la.Assign), cur.N(), graph.ErrInvalidInput)
+		}
+		if la.Count < 1 || la.Count >= cur.N() {
+			return nil, fmt.Errorf("hierarchy: level %d cluster count %d out of range [1,%d): %w",
+				i, la.Count, cur.N(), graph.ErrInvalidInput)
+		}
+		for v, c := range la.Assign {
+			if c < 0 || c >= la.Count {
+				return nil, fmt.Errorf("hierarchy: level %d assigns vertex %d to cluster %d of %d: %w",
+					i, v, c, la.Count, graph.ErrInvalidInput)
+			}
+		}
+		d := &decomp.Decomposition{G: cur, Assign: la.Assign, Count: la.Count}
+		h.levels = append(h.levels, newLevel(cur, d, smooth))
+		cur = cur.Contract(la.Assign, la.Count)
+	}
+	if err := h.finish(cur); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -14,6 +14,7 @@ package serve
 // token-bucket admission before touching an engine.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 
 	"hcd"
 	"hcd/internal/cli"
+	"hcd/internal/faultinject"
 	"hcd/internal/gio"
 	"hcd/internal/obs"
 )
@@ -81,6 +83,7 @@ type solveResponse struct {
 	Lmin        float64       `json:"lmin,omitempty"`
 	Lmax        float64       `json:"lmax,omitempty"`
 	CacheHit    bool          `json:"cache_hit"`
+	Degraded    bool          `json:"degraded,omitempty"` // served by the CG fallback (breaker open)
 	QueueWaitMS int64         `json:"queue_wait_ms"`
 }
 
@@ -90,10 +93,50 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.wrap("status", s.handleStatus))
 	s.mux.HandleFunc("POST /v1/graphs/{id}/solve", s.wrap("solve", s.handleSolve))
 	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.wrap("delete", s.handleDelete))
+	// Health endpoints sit outside wrap: liveness must answer even while
+	// draining, and readiness implements the drain refusal itself (with
+	// Retry-After, no Connection: close churn for probes).
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	om := obs.NewMux(s.reg)
 	s.mux.Handle("/metrics", om)
 	s.mux.Handle("/metrics.json", om)
 	s.mux.Handle("/debug/", om)
+}
+
+// handleHealthz is pure liveness: the process is up and the mux serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz gates traffic: 503 while draining or before the durable-state
+// restore has finished, 200 with a state summary otherwise. A persistence
+// setup failure (unusable state dir) is reported in the body but does not
+// fail readiness — the server still serves, memory-only.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readyz struct {
+		Status      string `json:"status"`
+		Handles     int    `json:"handles"`
+		Draining    bool   `json:"draining"`
+		PersistWarn string `json:"persist_warning,omitempty"`
+	}
+	body := readyz{Handles: len(s.store.List()), Draining: s.draining.Load()}
+	if s.persistErr != nil {
+		body.PersistWarn = s.persistErr.Error()
+	}
+	switch {
+	case s.draining.Load():
+		body.Status = "draining"
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case !s.ready.Load():
+		body.Status = "restoring"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		body.Status = "ok"
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 // wrap applies the common request plumbing: drain refusal, in-flight
@@ -104,6 +147,7 @@ func (s *Server) wrap(route string, fn http.HandlerFunc) http.HandlerFunc {
 		if s.draining.Load() {
 			counter(s.reg, metricDrainRefused)
 			w.Header().Set("Connection", "close")
+			w.Header().Set("Retry-After", "5")
 			writeErr(w, http.StatusServiceUnavailable, "server draining")
 			return
 		}
@@ -113,6 +157,14 @@ func (s *Server) wrap(route string, fn http.HandlerFunc) http.HandlerFunc {
 		defer gaugeAdd(s.reg, metricInflight, -1)
 
 		ctx := r.Context()
+		// Deadline budget: ?timeout_ms= opts in, Config.MaxTimeout caps it
+		// (and applies on its own when set). Expiry surfaces as 504 via
+		// timeoutCode; a client disconnect stays 408.
+		if budget := requestBudget(r, s.cfg.MaxTimeout); budget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+		}
 		if s.tr != nil {
 			ctx = obs.WithTracer(ctx, s.tr)
 		}
@@ -136,10 +188,50 @@ func tenant(r *http.Request) string {
 	return safeLabel(r.Header.Get("X-Tenant"))
 }
 
+// requestBudget resolves the effective deadline for one request: the
+// ?timeout_ms= query value clamped to the server cap, the cap alone when the
+// client asks for nothing, zero (no deadline) when neither is set.
+func requestBudget(r *http.Request, cap time.Duration) time.Duration {
+	var want time.Duration
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			want = time.Duration(ms) * time.Millisecond
+		}
+	}
+	switch {
+	case want <= 0:
+		return cap
+	case cap > 0 && want > cap:
+		return cap
+	default:
+		return want
+	}
+}
+
+// timeoutCode maps a context-shaped interruption to its HTTP status: the
+// server's own deadline expiring is 504 Gateway Timeout (the budget ran
+// out), anything else — in practice the client hanging up — is 408.
+func (s *Server) timeoutCode(ctx context.Context, err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		counter(s.reg, metricDeadlineExceeded)
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusRequestTimeout
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+func allConverged(results []hcd.SolveResult) bool {
+	for _, r := range results {
+		if !r.Converged {
+			return false
+		}
+	}
+	return true
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
@@ -199,9 +291,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if q.Get("wait") == "true" {
 		select {
-		case <-h.ready:
+		case <-s.store.readyChan(h):
 		case <-r.Context().Done():
-			writeErr(w, http.StatusRequestTimeout, "wait cancelled: %v", r.Context().Err())
+			writeErr(w, s.timeoutCode(r.Context(), nil), "wait cancelled: %v", r.Context().Err())
 			return
 		}
 	}
@@ -269,7 +361,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusRequestTimeout, "admission wait cancelled: %v", err)
+		writeErr(w, s.timeoutCode(ctx, err), "admission wait cancelled: %v", err)
 		return
 	}
 	counter(s.reg, metricAdmitted+`{tenant="`+ten+`"}`)
@@ -282,7 +374,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	status, hier, pool, buildErr := s.store.solveState(h)
+	// A handle restored from a snapshot is ready but empty until its first
+	// use: hydrate it now. Hydration may flip the handle to building (graph
+	// recovered, hierarchy data corrupt) or failed (nothing recovered) —
+	// the state machine below handles both like any other handle.
+	if err := s.store.ensureHydrated(ctx, h); err != nil {
+		writeErr(w, s.timeoutCode(ctx, err), "hydration wait cancelled: %v", err)
+		return
+	}
+
+	status, g, hier, pool, buildErr := s.store.solveState(h)
 	cacheHit := status == StatusReady
 	if status == StatusBuilding {
 		if !req.Wait {
@@ -294,16 +395,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		counter(s.reg, metricCacheMisses)
 		select {
-		case <-h.ready:
+		case <-s.store.readyChan(h):
 		case <-ctx.Done():
-			writeErr(w, http.StatusRequestTimeout, "build wait cancelled: %v", ctx.Err())
+			writeErr(w, s.timeoutCode(ctx, nil), "build wait cancelled: %v", ctx.Err())
 			return
 		}
-		status, hier, pool, buildErr = s.store.solveState(h)
+		status, g, hier, pool, buildErr = s.store.solveState(h)
 	}
 	if status == StatusFailed {
+		// One background retry per failed solve attempt; the client gets
+		// the error now and better luck on a later request.
+		s.store.retryBuild(h)
 		writeErr(w, http.StatusUnprocessableEntity, "hierarchy build failed: %v", buildErr)
 		return
+	}
+	degraded := status == StatusDegraded
+	if degraded {
+		counter(s.reg, metricDegradedSolves)
 	}
 	if cacheHit {
 		counter(s.reg, metricCacheHits)
@@ -317,7 +425,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		b = make([][]float64, nrhs)
 		for i := range b {
-			b[i] = cli.MeanFreeRHS(h.g.N(), seed+int64(i))
+			b[i] = cli.MeanFreeRHS(g.N(), seed+int64(i))
 		}
 	}
 
@@ -329,17 +437,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		opt.MaxIter = req.MaxIter
 	}
 	doReq := hcd.SolveRequest{B: b, Options: opt, M: hier}
-	switch req.Method {
-	case "", "pcg":
+	switch {
+	case degraded:
+		// Breaker open: there is no hierarchy to precondition with. Serve
+		// the request anyway — unpreconditioned CG on the raw graph, the
+		// resilient ladder's final rung — rather than erroring. Slower,
+		// never wrong: CG without a preconditioner is still exact.
+		doReq.Method = hcd.SolveMethodPCG
+		doReq.M = nil
+		doReq.Precond = hcd.PrecondSpec{Kind: hcd.PrecondNone}
+	case req.Method == "" || req.Method == "pcg":
 		doReq.Method = hcd.SolveMethodPCG
 		eng, perr := pool.acquire(ctx)
 		if perr != nil {
-			writeErr(w, http.StatusRequestTimeout, "engine wait cancelled: %v", perr)
+			writeErr(w, s.timeoutCode(ctx, perr), "engine wait cancelled: %v", perr)
 			return
 		}
 		defer pool.release(eng)
 		doReq.Engine = eng
-	case "chebyshev":
+	case req.Method == "chebyshev":
 		doReq.Method = hcd.SolveMethodChebyshev
 		iters := req.ChebyshevIters
 		if iters <= 0 {
@@ -348,7 +464,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		copt := hcd.DefaultChebyshevOptions(iters)
 		copt.Tol = opt.Tol
 		doReq.Chebyshev = copt
-	case "resilient":
+	case req.Method == "resilient":
 		doReq.Method = hcd.SolveMethodResilient
 		ropt := hcd.DefaultResilienceOptions()
 		ropt.Solve = opt
@@ -359,21 +475,41 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if faultinject.Enabled() {
+		faultinject.Fire(faultinject.SolveDelay) // chaos latency injection point
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		writeErr(w, s.timeoutCode(ctx, cerr), "request expired before solve: %v", cerr)
+		return
+	}
+
 	start := time.Now()
-	resp, err := hcd.Do(ctx, h.g, doReq)
+	resp, err := hcd.Do(ctx, g, doReq)
 	observe(s.reg, metricSolveTime, time.Since(start))
 	s.store.CountSolve(h)
 	for _, res := range resp.Results {
 		counter(s.reg, metricSolves+`{outcome="`+res.Outcome.String()+`"}`)
 	}
 	if err != nil && len(resp.Results) == 0 {
-		writeErr(w, http.StatusInternalServerError, "solve failed: %v", err)
+		code := http.StatusInternalServerError
+		if ctx.Err() != nil {
+			code = s.timeoutCode(ctx, err)
+		}
+		writeErr(w, code, "solve failed: %v", err)
+		return
+	}
+	// Do reports an expired context as OutcomeCancelled with a nil error; a
+	// request whose deadline budget ran out mid-solve must still surface as
+	// 504 (or 408 on client disconnect), not as 200 with cancelled results.
+	if cerr := ctx.Err(); cerr != nil && !allConverged(resp.Results) {
+		writeErr(w, s.timeoutCode(ctx, cerr), "deadline expired mid-solve: %v", cerr)
 		return
 	}
 
 	out := solveResponse{
 		GraphID:     id,
 		CacheHit:    cacheHit,
+		Degraded:    degraded,
 		QueueWaitMS: waited.Milliseconds(),
 		Lmin:        resp.Lmin,
 		Lmax:        resp.Lmax,
@@ -392,16 +528,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			sr.Rung = resp.Resilience[i].Rung
 			sr.Recovered = resp.Resilience[i].Recovered
 		}
+		if degraded {
+			sr.Rung = hcd.RungCG
+		}
 		out.Results = append(out.Results, sr)
 	}
-	code := http.StatusOK
 	if err != nil {
 		// Partial failure: report what completed plus the error.
-		writeJSON(w, http.StatusInternalServerError, struct {
+		code := http.StatusInternalServerError
+		if ctx.Err() != nil {
+			code = s.timeoutCode(ctx, err)
+		}
+		writeJSON(w, code, struct {
 			solveResponse
 			Error string `json:"error"`
 		}{out, err.Error()})
 		return
 	}
-	writeJSON(w, code, out)
+	writeJSON(w, http.StatusOK, out)
 }

@@ -31,6 +31,15 @@ const (
 	metricEnginesBusy  = "serve_engines_busy" // gauge: engines checked out right now
 	metricInflight     = "serve_inflight"     // gauge: requests being served
 	metricDrainRefused = "serve_drain_refused_total"
+
+	// Durability and degradation (PR 8).
+	metricRestoreHandles   = "serve_restore_handles_total" // handles re-registered from the manifest
+	metricRestoreOK        = "serve_restore_ok_total"      // lazy hydrations that verified clean
+	metricRestoreCorrupt   = "serve_restore_corrupt_total" // quarantined snapshots (partial or total)
+	metricSnapshotWrites   = "serve_snapshot_writes_total" // {outcome}
+	metricDegradedSolves   = "serve_degraded_solves_total" // solves served by the CG fallback rung
+	metricBreakerOpen      = "serve_breaker_open_total"    // handles tripped into degraded
+	metricDeadlineExceeded = "serve_deadline_exceeded_total"
 )
 
 var durationBuckets = []float64{

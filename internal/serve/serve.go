@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hcd"
 	"hcd/internal/obs"
@@ -42,6 +43,21 @@ type Config struct {
 	AutoShardVertices int
 	// Admission tunes the per-tenant token buckets.
 	Admission AdmissionConfig
+	// StateDir, when non-empty, makes handles durable: built hierarchies
+	// are snapshotted there (write-ahead manifest + one checksummed
+	// snapshot file per handle) and re-registered on restart, hydrating
+	// lazily on first use. Empty = memory-only.
+	StateDir string
+	// BreakerThreshold is the consecutive-build-failure count at which a
+	// handle's circuit breaker opens and solves degrade to raw CG instead
+	// of erroring (default 3; negative disables the breaker — handles then
+	// stay failed forever).
+	BreakerThreshold int
+	// MaxTimeout caps the per-request deadline budget. Requests opt into a
+	// deadline with ?timeout_ms=; the effective deadline is min(requested,
+	// MaxTimeout). When MaxTimeout is set it also applies to requests that
+	// ask for nothing. Zero = no server-imposed deadline.
+	MaxTimeout time.Duration
 	// Registry receives the serve_* metric family (nil = a fresh registry;
 	// it also backs the mounted /metrics endpoints).
 	Registry *obs.Registry
@@ -68,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.AutoShardVertices == 0 {
 		c.AutoShardVertices = 200_000
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -84,8 +103,10 @@ type Server struct {
 	adm   *admission
 	mux   *http.ServeMux
 
-	draining atomic.Bool
-	inflight sync.WaitGroup
+	draining   atomic.Bool
+	ready      atomic.Bool // restore finished; /readyz gates on it
+	inflight   sync.WaitGroup
+	persistErr error // set once in New when the state dir is unusable
 }
 
 // New builds a Server from cfg.
@@ -100,6 +121,19 @@ func New(cfg Config) *Server {
 	}
 	s.store = newStore(cfg.MaxHandles, cfg.MaxBytes, cfg.PoolSize, cfg.Hierarchy, s.reg, s.tr)
 	s.store.autoShard = cfg.AutoShardVertices
+	s.store.breaker = cfg.BreakerThreshold
+	if cfg.StateDir != "" {
+		pst, err := newPersister(cfg.StateDir)
+		if err != nil {
+			// Persistence is an enhancement, not a prerequisite: an unusable
+			// state dir serves memory-only and surfaces through /readyz.
+			s.persistErr = err
+		} else {
+			s.store.pst = pst
+			s.store.restore()
+		}
+	}
+	s.ready.Store(true)
 	s.routes()
 	return s
 }
@@ -129,4 +163,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Close abandons the server abruptly: in-flight hierarchy builds are
+// cancelled and engine pools dropped, with no drain and no durable-state
+// cleanup — snapshots and the manifest stay exactly as the last sync left
+// them. It is the in-process analogue of kill -9, used by crash-recovery
+// tests and the chaos battery; production shutdown pairs Drain with
+// http.Server.Shutdown instead.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.store.closeAll()
 }

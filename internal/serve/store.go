@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hcd"
+	"hcd/internal/faultinject"
 	"hcd/internal/obs"
 	"hcd/internal/par"
 )
@@ -40,6 +41,11 @@ const (
 	StatusBuilding HandleStatus = "building"
 	StatusReady    HandleStatus = "ready"
 	StatusFailed   HandleStatus = "failed"
+	// StatusDegraded: the handle's circuit breaker is open — enough
+	// consecutive build failures that the store stops retrying. Solves
+	// against a degraded handle fall through to unpreconditioned CG on the
+	// raw graph instead of failing, trading iterations for availability.
+	StatusDegraded HandleStatus = "degraded"
 )
 
 // handle is one cached graph plus its hierarchy and engine pool. Fields
@@ -48,11 +54,10 @@ const (
 // ready channel.
 type handle struct {
 	id string
-	g  *hcd.Graph
-
-	ready chan struct{} // closed when the build finishes (either way)
 
 	// Guarded by store.mu.
+	g        *hcd.Graph    // nil while restored-but-unhydrated
+	ready    chan struct{} // closed when the current build attempt finishes; replaced per attempt
 	status   HandleStatus
 	h        *hcd.Hierarchy
 	buildErr error
@@ -64,6 +69,40 @@ type handle struct {
 	pool     *enginePool
 	cancel   context.CancelFunc // stops an in-flight build on delete
 	buildDur time.Duration
+	hopt     hcd.HierarchyOptions // the options this handle builds with (persisted for rebuilds)
+	failures int                  // consecutive build failures (breaker input)
+
+	// Durable-state fields (see persist.go).
+	restored  bool          // manifest-registered, snapshot not yet read
+	snapFile  string        // snapshot file name in the state dir, "" if none
+	n, m      int           // graph dims while g == nil
+	estBytes  int64         // manifest byte estimate, for display while unhydrated
+	hydrating chan struct{} // non-nil while one goroutine loads the snapshot
+}
+
+// dimN/dimM report graph dimensions whether or not the handle is hydrated.
+// Callers hold store.mu.
+func (h *handle) dimN() int {
+	if h.g != nil {
+		return h.g.N()
+	}
+	return h.n
+}
+
+func (h *handle) dimM() int {
+	if h.g != nil {
+		return h.g.M()
+	}
+	return h.m
+}
+
+// persistBytesLocked is the byte figure recorded in the manifest: the real
+// charge once hydrated/built, the inherited estimate before that.
+func (h *handle) persistBytesLocked() int64 {
+	if h.bytes > 0 {
+		return h.bytes
+	}
+	return h.estBytes
 }
 
 // HandleInfo is the externally visible snapshot of a handle.
@@ -76,6 +115,7 @@ type HandleInfo struct {
 	Bytes     int64        `json:"bytes"`
 	Levels    []int        `json:"levels,omitempty"`
 	Solves    int64        `json:"solves"`
+	Restored  bool         `json:"restored,omitempty"` // ready from a snapshot, not yet hydrated
 	BuildMS   int64        `json:"build_ms,omitempty"`
 	InFlight  int          `json:"in_flight"`
 	LastUseMS int64        `json:"idle_ms"`
@@ -91,6 +131,8 @@ type store struct {
 	tr         *obs.Tracer
 	gauges     *engineGauges
 	now        func() time.Time
+	pst        *persister // nil = memory-only (no -state-dir)
+	breaker    int        // consecutive build failures before degrading; ≤ 0 disables
 
 	mu     sync.Mutex
 	byID   map[string]*handle
@@ -138,13 +180,7 @@ func (s *store) Put(g *hcd.Graph, hopt *hcd.HierarchyOptions) (*handle, error) {
 		return nil, err
 	}
 	s.nextID++
-	buildCtx, cancel := context.WithCancel(context.Background())
-	if s.tr != nil {
-		buildCtx = obs.WithTracer(buildCtx, s.tr)
-	}
-	if s.reg != nil {
-		buildCtx = obs.WithRegistry(buildCtx, s.reg)
-	}
+	buildCtx, cancel := s.buildContext()
 	h := &handle{
 		id:      fmt.Sprintf("g-%d", s.nextID),
 		g:       g,
@@ -153,6 +189,7 @@ func (s *store) Put(g *hcd.Graph, hopt *hcd.HierarchyOptions) (*handle, error) {
 		bytes:   gb,
 		lastUse: s.now(),
 		cancel:  cancel,
+		hopt:    opts,
 	}
 	h.elem = s.lru.PushFront(h)
 	s.byID[h.id] = h
@@ -164,29 +201,67 @@ func (s *store) Put(g *hcd.Graph, hopt *hcd.HierarchyOptions) (*handle, error) {
 	return h, nil
 }
 
+// buildContext manufactures the background context hierarchy builds run
+// under: cancellable (delete/close stop in-flight builds) and carrying the
+// store's observability sinks.
+func (s *store) buildContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if s.tr != nil {
+		ctx = obs.WithTracer(ctx, s.tr)
+	}
+	if s.reg != nil {
+		ctx = obs.WithRegistry(ctx, s.reg)
+	}
+	return ctx, cancel
+}
+
 // build constructs the hierarchy and publishes the result. It runs outside
 // any request: a submitted graph keeps building after its submit request
-// returns, and the span parents at the trace root.
+// returns, and the span parents at the trace root. On success the handle is
+// persisted (when a state dir is configured) before it flips ready; on
+// failure the consecutive-failure counter feeds the circuit breaker —
+// at the threshold the handle degrades instead of failing, and solves fall
+// through to unpreconditioned CG.
 func (s *store) build(ctx context.Context, h *handle, opts hcd.HierarchyOptions) {
 	ctx, sp := obs.StartSpan(ctx, "serve/build")
 	sp.Arg("graph", h.id)
 	sp.Arg("n", h.g.N())
 	sp.Arg("m", h.g.M())
 	start := s.now()
-	hier, err := hcd.NewHierarchyCtx(ctx, h.g, opts)
+	var hier *hcd.Hierarchy
+	var err error
+	if faultinject.Enabled() {
+		err = faultinject.Err(faultinject.BuildFail)
+	}
+	if err == nil {
+		hier, err = hcd.NewHierarchyCtx(ctx, h.g, opts)
+	}
 	dur := s.now().Sub(start)
 	sp.End()
 	observe(s.reg, metricBuildTime, dur)
 
+	var snapFile string
+	if err == nil {
+		snapFile = s.persistHandle(h, h.g, hier)
+	}
+
 	s.mu.Lock()
 	h.buildDur = dur
 	if err != nil {
-		h.status = StatusFailed
 		h.buildErr = err
+		h.failures++
+		if s.breaker > 0 && h.failures >= s.breaker {
+			h.status = StatusDegraded
+			counter(s.reg, metricBreakerOpen)
+		} else {
+			h.status = StatusFailed
+		}
 		counter(s.reg, metricBuilds+`{outcome="error"}`)
 	} else {
 		h.status = StatusReady
+		h.failures = 0
 		h.h = hier
+		h.snapFile = snapFile
 		h.pool = newEnginePool(h.g, hier, s.poolSize, s.gauges)
 		hb := hier.MemoryBytes()
 		h.bytes += hb
@@ -199,9 +274,45 @@ func (s *store) build(ctx context.Context, h *handle, opts hcd.HierarchyOptions)
 		_ = s.evictLocked(0, 0)
 		h.refs--
 	}
+	ready := h.ready
 	s.publishLocked()
 	s.mu.Unlock()
-	close(h.ready)
+	// Manifest before wakeup: a client whose ?wait=true returns ready must
+	// be able to rely on the handle surviving a crash from that moment on.
+	if snapFile != "" {
+		s.syncManifest()
+	}
+	close(ready)
+}
+
+// retryBuild re-arms a failed handle: a solve that finds the handle failed
+// schedules one fresh build attempt in the background (the client retries
+// later). Degraded handles are left alone — the breaker is open precisely
+// because retrying stopped helping — and handles in any other state are
+// untouched.
+func (s *store) retryBuild(h *handle) {
+	s.mu.Lock()
+	if h.status != StatusFailed || h.g == nil {
+		s.mu.Unlock()
+		return
+	}
+	buildCtx, cancel := s.buildContext()
+	h.status = StatusBuilding
+	h.buildErr = nil
+	h.ready = make(chan struct{})
+	h.cancel = cancel
+	opts := h.hopt
+	s.mu.Unlock()
+	go s.build(buildCtx, h, opts)
+}
+
+// readyChan returns the channel that closes when the handle's current build
+// attempt finishes. The channel is replaced on rebuilds, so callers must
+// read it through the store lock rather than capturing h.ready directly.
+func (s *store) readyChan(h *handle) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return h.ready
 }
 
 // evictLocked frees room for `need` extra bytes and `extra` extra handles,
@@ -231,7 +342,10 @@ func (s *store) evictLocked(need int64, extra int) error {
 	return nil
 }
 
-// removeLocked unlinks a handle and returns its bytes to the budget.
+// removeLocked unlinks a handle and returns its bytes to the budget. The
+// handle's durable state goes with it: snapshot removal and the manifest
+// rewrite run on a fresh goroutine because the persister lock must never be
+// taken under store.mu.
 func (s *store) removeLocked(h *handle) {
 	if h.elem != nil {
 		s.lru.Remove(h.elem)
@@ -242,7 +356,17 @@ func (s *store) removeLocked(h *handle) {
 	if h.pool != nil {
 		h.pool.drop()
 	}
-	h.cancel()
+	if h.cancel != nil {
+		h.cancel()
+	}
+	if h.snapFile != "" && s.pst != nil {
+		file := h.snapFile
+		h.snapFile = ""
+		go func() {
+			s.pst.removeSnapshot(file)
+			s.syncManifest()
+		}()
+	}
 }
 
 // Get returns the handle and a release func that must be called when the
@@ -310,10 +434,11 @@ func (s *store) infoLocked(h *handle) HandleInfo {
 	info := HandleInfo{
 		ID:        h.id,
 		Status:    h.status,
-		N:         h.g.N(),
-		M:         h.g.M(),
-		Bytes:     h.bytes,
+		N:         h.dimN(),
+		M:         h.dimM(),
+		Bytes:     h.persistBytesLocked(),
 		Solves:    h.solves,
+		Restored:  h.restored,
 		BuildMS:   h.buildDur.Milliseconds(),
 		InFlight:  h.refs,
 		LastUseMS: s.now().Sub(h.lastUse).Milliseconds(),
@@ -327,6 +452,23 @@ func (s *store) infoLocked(h *handle) HandleInfo {
 	return info
 }
 
+// closeAll abandons every handle without touching durable state: in-flight
+// builds are cancelled, pools dropped. This is the in-process stand-in for
+// a crash (tests and the chaos battery kill servers mid-build with it);
+// snapshots and the manifest stay on disk for the next restore.
+func (s *store) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.byID {
+		if h.cancel != nil {
+			h.cancel()
+		}
+		if h.pool != nil {
+			h.pool.drop()
+		}
+	}
+}
+
 // CountSolve bumps a handle's solve counter.
 func (s *store) CountSolve(h *handle) {
 	s.mu.Lock()
@@ -334,11 +476,13 @@ func (s *store) CountSolve(h *handle) {
 	s.mu.Unlock()
 }
 
-// Snapshot of a handle's solve-facing state: status, hierarchy, pool, error.
-func (s *store) solveState(h *handle) (HandleStatus, *hcd.Hierarchy, *enginePool, error) {
+// Snapshot of a handle's solve-facing state: status, graph, hierarchy,
+// pool, error. The graph comes through here rather than h.g directly
+// because restored handles install it lazily under the store lock.
+func (s *store) solveState(h *handle) (HandleStatus, *hcd.Graph, *hcd.Hierarchy, *enginePool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return h.status, h.h, h.pool, h.buildErr
+	return h.status, h.g, h.h, h.pool, h.buildErr
 }
 
 func (s *store) publishLocked() {

@@ -1,10 +1,17 @@
 package hcd
 
 import (
+	"context"
 	"io"
 
 	"hcd/internal/gio"
 )
+
+// ErrCorruptSnapshot is returned (wrapped) by the snapshot readers when a
+// file is damaged or foreign: bad magic, checksum mismatch, truncation, or
+// payloads failing structural validation. Callers distinguish it from plain
+// I/O errors with errors.Is and respond by rebuilding, not retrying.
+var ErrCorruptSnapshot = gio.ErrCorruptSnapshot
 
 // ReadEdgeList parses the plain edge-list format: one "u v w" line per edge
 // (weight optional, default 1), '#' comments, and an optional "n <count>"
@@ -22,3 +29,27 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) { return gio.ReadMatrixMarket
 // WriteMatrixMarket writes the Laplacian of g as a symmetric coordinate
 // MatrixMarket matrix.
 func WriteMatrixMarket(w io.Writer, g *Graph) error { return gio.WriteMatrixMarket(w, g) }
+
+// WriteGraphSnapshot writes g in the versioned, checksummed binary snapshot
+// format — the durable form behind hcd-server's -state-dir.
+func WriteGraphSnapshot(w io.Writer, g *Graph) error { return gio.WriteGraphSnapshot(w, g) }
+
+// ReadGraphSnapshot reads a graph snapshot. Corruption comes back wrapping
+// ErrCorruptSnapshot; underlying I/O errors pass through unwrapped.
+func ReadGraphSnapshot(r io.Reader) (*Graph, error) { return gio.ReadGraphSnapshot(r) }
+
+// WriteHierarchySnapshot persists g together with its built hierarchy. Only
+// the fine graph and the per-level cluster assignments are stored; quotient
+// graphs and the coarse factorization are recomputed deterministically on
+// read, so a snapshot is a few times the graph's size, not the hierarchy's.
+func WriteHierarchySnapshot(w io.Writer, g *Graph, h *Hierarchy) error {
+	return gio.WriteHierarchySnapshot(w, g, h)
+}
+
+// ReadHierarchySnapshot restores a graph and its hierarchy from a snapshot
+// without re-running any clustering. If the graph section verifies but the
+// hierarchy portion is corrupt, the graph is returned alongside the error —
+// callers can rebuild the hierarchy instead of losing everything.
+func ReadHierarchySnapshot(ctx context.Context, r io.Reader) (*Graph, *Hierarchy, error) {
+	return gio.ReadHierarchySnapshot(ctx, r)
+}
