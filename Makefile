@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-decomp bench-json bench-scale scale-smoke vet fmt check race race-solver selfcheck chaos server-chaos fuzz server-smoke experiments fig6 coverage
+.PHONY: all build test bench bench-decomp bench-solve bench-json bench-scale scale-smoke vet fmt check race race-solver selfcheck chaos server-chaos fuzz server-smoke experiments fig6 coverage
 
 all: build test
 
@@ -39,6 +39,13 @@ bench:
 # parallel Evaluate and the unified DecomposeCtx path.
 bench-decomp:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate|BenchmarkDecomposePipeline' -benchmem .
+
+# bench-solve: the multi-RHS block-solve benchmark behind BENCH_solve.json —
+# block-PCG at k ∈ {1, 4, 16} vs 16 sequential warm-engine solves on the same
+# hierarchy, pinned to GOMAXPROCS=1 so the speedup is pure memory-hierarchy
+# amortization, not parallelism.
+bench-solve:
+	$(GO) test -run '^$$' -bench 'BenchmarkBlockSolve' -benchmem .
 
 # server-smoke: the in-process serving battery — submit/build/solve round
 # trip, cache-hit and single-build invariants, LRU eviction, and per-tenant
@@ -83,7 +90,7 @@ bench-json:
 		| $(GO) run ./cmd/hcd-benchjson -out BENCH_evaluate.json
 	$(GO) test -run '^$$' -bench 'BenchmarkDecomposePipeline' -benchmem . \
 		| $(GO) run ./cmd/hcd-benchjson -out BENCH_decompose.json
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmSolves' -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmSolves|BenchmarkBlockSolve' -benchmem . \
 		| $(GO) run ./cmd/hcd-benchjson -out BENCH_solve.json
 
 # bench-scale: the end-to-end scaling benchmark behind BENCH_scale.json —

@@ -292,6 +292,67 @@ func BenchmarkEngineWarmSolves(b *testing.B) {
 	}
 }
 
+// P9: multi-RHS throughput of the block PCG path — one SpMM traversal and
+// one block V-cycle serve all k columns per iteration — against k sequential
+// warm-engine solves on the same hierarchy. Pinned to GOMAXPROCS=1 so the
+// measured win is traversal fusion, not parallelism; the rhs/sec metric is
+// what BENCH_solve.json records.
+func BenchmarkBlockSolve(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	g := hcd.Grid3D(32, 32, 32, hcd.LognormalWeights(1), 1)
+	eng, err := hcd.NewHierarchyEngine(g, hcd.DefaultHierarchyOptions(), hcd.DefaultSolveOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	makeB := func(k int) [][]float64 {
+		B := make([][]float64, k)
+		for i := range B {
+			B[i] = benchRHS(g.N(), int64(i+1))
+		}
+		return B
+	}
+	for _, k := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("block/k=%d", k), func(b *testing.B) {
+			B := makeB(k)
+			req := hcd.SolveRequest{B: B, Engine: eng}
+			if _, err := hcd.Do(context.Background(), g, req); err != nil {
+				b.Fatal(err) // warm up the block scratch
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := hcd.Do(context.Background(), g, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range resp.Results {
+					if !r.Converged {
+						b.Fatal("block solve did not converge")
+					}
+				}
+			}
+			b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "rhs/sec")
+		})
+	}
+	b.Run("seq/k=16", func(b *testing.B) {
+		B := makeB(16)
+		if _, err := eng.Solve(nil, B[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, col := range B {
+				res, serr := eng.Solve(nil, col)
+				if serr != nil || !res.Converged {
+					b.Fatal("sequential solve failed")
+				}
+			}
+		}
+		b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "rhs/sec")
+	})
+}
+
 // P4: decomposition quality measurement — the parallel per-cluster fan-out
 // of Evaluate against the sequential reference on a 3D lognormal grid
 // (~3.5k clusters). On multi-core machines the parallel path should win;

@@ -36,6 +36,9 @@ type Result struct {
 	// Procs is the GOMAXPROCS the benchmark ran at, decoded from the "-N"
 	// suffix go test appends to the name (0 when the name carries none).
 	Procs int `json:"procs,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "rhs/sec" from the
+	// block-solve benchmark) keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Record is the top-level JSON document.
@@ -127,6 +130,16 @@ func parseBenchLine(line string) (Result, bool) {
 		case "allocs/op":
 			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return Result{}, false
+			}
+		default:
+			// Custom b.ReportMetric units ("rhs/sec", "MB/s", ...).
+			if strings.ContainsRune(unit, '/') {
+				if v, verr := strconv.ParseFloat(val, 64); verr == nil {
+					if r.Metrics == nil {
+						r.Metrics = make(map[string]float64)
+					}
+					r.Metrics[unit] = v
+				}
 			}
 		}
 	}

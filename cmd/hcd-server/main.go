@@ -57,6 +57,8 @@ func run() (err error) {
 	stateDir := flag.String("state-dir", "", "durable handle state directory (empty = memory-only)")
 	breaker := flag.Int("breaker", 3, "consecutive build failures before a handle degrades to the CG fallback (negative disables)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on per-request ?timeout_ms deadline budgets (0 = uncapped)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batching window: PCG solves against one handle arriving within this window coalesce into one block solve (0 = off)")
+	batchWidth := flag.Int("batch-width", 16, "max right-hand sides coalesced per batch (fires early when full)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM")
 	smoke := flag.Bool("smoke", false, "run the in-process smoke battery and exit")
 	o := cli.ObsFlags()
@@ -84,6 +86,8 @@ func run() (err error) {
 		StateDir:         *stateDir,
 		BreakerThreshold: *breaker,
 		MaxTimeout:       *maxTimeout,
+		BatchWindow:      *batchWindow,
+		BatchMaxWidth:    *batchWidth,
 		Registry:         o.Registry,
 		Tracer:           o.Tracer,
 	}

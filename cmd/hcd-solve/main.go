@@ -10,6 +10,7 @@
 //	hcd-solve -graph grid3d:32 -precond hierarchy -metrics -timeout 30s
 //	hcd-solve -graph grid3d:16 -resilient -trace trace.json
 //	hcd-solve -graph grid3d:24 -listen :6060
+//	hcd-solve -graph grid3d:20 -rhs 8 -metrics
 package main
 
 import (
@@ -35,6 +36,7 @@ func run() (err error) {
 	k := flag.Int("k", 4, "cluster size cap for steiner/hierarchy")
 	shards := flag.Int("shards", 1, "shard-parallel clustering for steiner/hierarchy builds (1 = single-pass)")
 	seed := flag.Int64("seed", 1, "random seed")
+	rhs := flag.Int("rhs", 1, "right-hand sides to solve; >1 routes all columns through one block solve")
 	history := flag.Bool("history", false, "print the full residual history")
 	metrics := flag.Bool("metrics", false, "print per-solve metrics (matvecs, applies, phase times)")
 	stream := flag.Bool("stream", false, "stream residual norms to stderr as the solve iterates")
@@ -47,7 +49,15 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	b := cli.MeanFreeRHS(g.N(), *seed+100)
+	nrhs := *rhs
+	if nrhs < 1 {
+		nrhs = 1
+	}
+	B := make([][]float64, nrhs)
+	for i := range B {
+		B[i] = cli.MeanFreeRHS(g.N(), *seed+100+int64(i))
+	}
+	b := B[0]
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -128,7 +138,7 @@ func run() (err error) {
 	opt.Tol = *tol
 	opt.Observer = observer
 	req := hcd.SolveRequest{
-		B: [][]float64{b}, M: m, Options: opt,
+		B: B, M: m, Options: opt,
 		Precond: hcd.PrecondSpec{Kind: hcd.PrecondNone},
 	}
 	switch *method {
@@ -160,6 +170,25 @@ func run() (err error) {
 
 	fmt.Printf("graph: %s  n=%d m=%d\n", *graphSpec, g.N(), g.M())
 	fmt.Printf("preconditioner: %s  build: %v\n", *precond, buildTime)
+	if nrhs > 1 {
+		// Multi-RHS: one block solve served every column — report each
+		// column's own convergence plus the aggregate throughput.
+		converged := 0
+		for i, r := range resp.Results {
+			if r.Converged {
+				converged++
+			}
+			fmt.Printf("rhs %d: outcome: %s  iterations: %d  final-residual: %.3g\n",
+				i, r.Outcome, r.Iterations, r.Metrics.FinalResidual)
+			if *metrics {
+				printMetrics(r.Metrics)
+			}
+		}
+		fmt.Printf("converged: %d/%d  solve: %v  throughput: %.2f rhs/sec\n",
+			converged, nrhs, solveTime, float64(nrhs)/solveTime.Seconds())
+		printRegistry(o, *metrics)
+		return nil
+	}
 	fmt.Printf("outcome: %s  iterations: %d  solve: %v\n", res.Outcome, res.Iterations, solveTime)
 	if len(res.Residuals) > 0 {
 		fmt.Printf("residual: %.3g -> %.3g\n", res.Residuals[0], res.Residuals[len(res.Residuals)-1])

@@ -10,6 +10,7 @@ package hcd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"hcd/internal/obs"
@@ -158,6 +159,14 @@ type SolveRequest struct {
 	// is reused. Ignored by SolveMethodResilient, whose ladder builds its
 	// own preconditioners.
 	Engine *Engine
+	// DisableBlock opts a multi-RHS PCG request out of the block solver
+	// and back onto the sequential per-column loop. By default Do runs
+	// k > 1 right-hand sides as one block solve — every matvec and
+	// preconditioner traversal shared across columns, converged columns
+	// deflating out — which is the fast path for batched traffic. Requests
+	// with Options.Recovery enabled always take the sequential loop
+	// (restart schedules are per-column).
+	DisableBlock bool
 	// Options configures the PCG iteration (and the Chebyshev method's
 	// probe inherits its ProjectMean).
 	Options SolveOptions
@@ -171,8 +180,9 @@ type SolveRequest struct {
 // method-specific extras.
 type SolveResponse struct {
 	// Results holds one SolveResult per right-hand side, in request order.
-	// On error it contains the results completed so far (for PCG,
-	// including the failed attempt).
+	// On error it still contains one entry per attempted column — completed
+	// columns keep their results, failed columns carry zero-value entries —
+	// so a partially failed batch loses nothing that finished.
 	Results []SolveResult
 	// Lmin, Lmax are the Chebyshev method's Ritz spectrum estimates from
 	// the bootstrap probe, before widening.
@@ -191,8 +201,10 @@ type SolveResponse struct {
 // Errors follow the wrapped-sentinel convention: dimension mismatches wrap
 // ErrBadDimension, exhausted ladders wrap ErrNotConverged, a cancelled
 // context surfaces via the per-result OutcomeCancelled (PCG/Chebyshev) or a
-// wrapped context error (resilient). On a multi-RHS request Do fails fast:
-// the response carries the results completed before the failure.
+// wrapped context error (resilient). A multi-RHS PCG or Chebyshev request
+// attempts every column even when one fails: the response carries a result
+// per attempted column and the error joins the per-column failures
+// (errors.Is still matches the wrapped sentinels through the join).
 func Do(ctx context.Context, g *Graph, req SolveRequest) (*SolveResponse, error) {
 	resp := &SolveResponse{}
 	if ctx == nil {
@@ -248,7 +260,27 @@ func doPCG(ctx context.Context, g *Graph, req SolveRequest, resp *SolveResponse)
 			return resp, err
 		}
 	}
-	for _, b := range req.B {
+	// Multi-RHS requests run as one block solve unless opted out: every
+	// matvec and preconditioner traversal is shared across the columns and
+	// converged columns deflate out of the active block (see
+	// solver.BlockPCGCtx). Recovery restarts are per-column schedules, so
+	// recovery-enabled requests stay on the sequential loop.
+	if len(req.B) > 1 && !req.DisableBlock && req.Options.Recovery.MaxRestarts == 0 {
+		var results []SolveResult
+		var err error
+		if req.Engine != nil {
+			results, err = req.Engine.SolveBlock(ctx, req.B, req.Options)
+			for i := range results {
+				results[i] = detachResult(results[i])
+			}
+		} else {
+			results, err = solver.BlockPCGCtx(ctx, solver.LapOperator(g), m, req.B, req.Options)
+		}
+		resp.Results = append(resp.Results, results...)
+		return resp, err
+	}
+	var errs []error
+	for i, b := range req.B {
 		var res SolveResult
 		var err error
 		if req.Engine != nil {
@@ -259,10 +291,10 @@ func doPCG(ctx context.Context, g *Graph, req SolveRequest, resp *SolveResponse)
 		}
 		resp.Results = append(resp.Results, res)
 		if err != nil {
-			return resp, err
+			errs = append(errs, fmt.Errorf("rhs %d: %w", i, err))
 		}
 	}
-	return resp, nil
+	return resp, errors.Join(errs...)
 }
 
 func doChebyshev(ctx context.Context, g *Graph, req SolveRequest, resp *SolveResponse) (*SolveResponse, error) {
@@ -310,7 +342,8 @@ func doChebyshev(ctx context.Context, g *Graph, req SolveRequest, resp *SolveRes
 	}
 	resp.Lmin, resp.Lmax, resp.ProbeMetrics = lmin, lmax, probe.Metrics
 	iterOpt := solver.Options{MaxIter: opt.Iters, ProjectMean: true, Tol: opt.Tol, Observer: opt.Observer}
-	for _, b := range req.B {
+	var errs []error
+	for i, b := range req.B {
 		var res SolveResult
 		if req.Engine != nil {
 			res, err = req.Engine.SolveChebyshev(ctx, b, lmin*opt.WidenLow, lmax*opt.WidenHigh, iterOpt)
@@ -318,12 +351,12 @@ func doChebyshev(ctx context.Context, g *Graph, req SolveRequest, resp *SolveRes
 		} else {
 			res, err = solver.ChebyshevCtx(ctx, a, m, b, lmin*opt.WidenLow, lmax*opt.WidenHigh, iterOpt)
 		}
-		if err != nil {
-			return resp, err
-		}
 		resp.Results = append(resp.Results, res)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("rhs %d: %w", i, err))
+		}
 	}
-	return resp, nil
+	return resp, errors.Join(errs...)
 }
 
 // detachResult copies the slices of an engine-produced result out of the

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func blockTestGraph(t *testing.T, n int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	// A ring for connectivity plus random chords: irregular degrees exercise
+	// the per-row neighbor loop more honestly than a grid.
+	for v := 0; v < n; v++ {
+		edges = append(edges, Edge{U: v, V: (v + 1) % n, W: 0.5 + rng.Float64()})
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v, W: 0.1 + 2*rng.Float64()})
+		}
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLapMulBlockMatchesColumns: the blocked matvec agrees with k independent
+// scalar matvecs column by column (to rounding — the block path accumulates
+// the neighbor sum and diagonal term separately).
+func TestLapMulBlockMatchesColumns(t *testing.T) {
+	g := blockTestGraph(t, 300, 1)
+	n := g.N()
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		x := make([]float64, n*k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		dst := make([]float64, n*k)
+		g.LapMulBlock(dst, x, k)
+		col := make([]float64, n)
+		ref := make([]float64, n)
+		for j := 0; j < k; j++ {
+			for v := 0; v < n; v++ {
+				col[v] = x[v*k+j]
+			}
+			g.LapMulSerial(ref, col)
+			for v := 0; v < n; v++ {
+				if d := math.Abs(dst[v*k+j] - ref[v]); d > 1e-10*(1+math.Abs(ref[v])) {
+					t.Fatalf("k=%d col %d row %d: block %v vs scalar %v", k, j, v, dst[v*k+j], ref[v])
+				}
+			}
+		}
+	}
+}
+
+// TestLapMulBlockK1BitIdentical: width-1 blocks take the scalar LapMul path
+// exactly.
+func TestLapMulBlockK1BitIdentical(t *testing.T) {
+	g := blockTestGraph(t, 500, 3)
+	n := g.N()
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n)
+	want := make([]float64, n)
+	g.LapMulBlock(got, x, 1)
+	g.LapMul(want, x)
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("row %d: %v != %v", v, got[v], want[v])
+		}
+	}
+}
+
+// TestLapMulBlockGOMAXPROCSInvariant: rows are independent, so the block
+// matvec must be bit-identical at any worker count — including on graphs
+// large enough to cross the parallel grain.
+func TestLapMulBlockGOMAXPROCSInvariant(t *testing.T) {
+	const k = 4
+	g := blockTestGraph(t, 4096, 5)
+	n := g.N()
+	rng := rand.New(rand.NewSource(6))
+	x := make([]float64, n*k)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, n*k)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	g.LapMulBlock(ref, x, k)
+	for _, procs := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		dst := make([]float64, n*k)
+		g.LapMulBlock(dst, x, k)
+		for i := range dst {
+			if dst[i] != ref[i] {
+				t.Fatalf("procs=%d entry %d: %v != %v", procs, i, dst[i], ref[i])
+			}
+		}
+	}
+}

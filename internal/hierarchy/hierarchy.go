@@ -13,6 +13,7 @@ package hierarchy
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"hcd/internal/decomp"
 	"hcd/internal/dense"
@@ -65,6 +66,10 @@ type Hierarchy struct {
 	coarseG *graph.Graph
 	coarse  *dense.PinnedLaplacian
 	cbuf    []float64
+	// Block-apply state (block.go): pooled per-apply work buffers, and a
+	// lock serializing the scalar coarse factorization's internal scratch.
+	bwPool   sync.Pool
+	coarseMu sync.Mutex
 }
 
 // New builds the hierarchy for g.

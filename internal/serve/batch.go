@@ -1,0 +1,177 @@
+package serve
+
+// Micro-batched solves: queued PCG requests against the same ready handle
+// (and the same tolerance/budget) are coalesced into one block solve. The
+// first request to arrive opens a batch and a window timer; requests landing
+// inside the window append their right-hand sides as extra columns; when the
+// window closes (or the column cap fills), one engine checkout runs all
+// columns through hcd.Do's block path, and each request gets its own slice
+// of the results. On bandwidth-bound solves the coalesced block solve
+// streams the matrix once for the whole batch — that is the throughput win;
+// the cost is up to one window of added latency on the first request.
+//
+// Batching is opt-in (Config.BatchWindow > 0) and only covers the default
+// PCG method on ready handles: degraded, chebyshev and resilient requests
+// keep their dedicated paths.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hcd"
+	"hcd/internal/obs"
+)
+
+// batchKey identifies solves that may share one block solve: same handle,
+// same tolerance, same iteration budget. (Options beyond these are fixed
+// server-side, so the key is complete.)
+type batchKey struct {
+	handle  string
+	tol     float64
+	maxIter int
+}
+
+// batchExec runs the coalesced solve: acquire an engine, solve all columns,
+// return one result per column. It executes once per batch, under a context
+// detached from any single request's cancellation.
+type batchExec func(ctx context.Context, cols [][]float64) ([]hcd.SolveResult, error)
+
+// batchOut is what each waiting request receives.
+type batchOut struct {
+	results []hcd.SolveResult
+	width   int // requests coalesced into the executed batch
+	err     error
+}
+
+type batchSub struct {
+	lo, hi int // this request's column range
+	done   chan batchOut
+}
+
+type batch struct {
+	cols  [][]float64
+	subs  []batchSub
+	fire  chan struct{} // closed to fire before the window closes
+	fired bool          // set under the batcher lock; no more joins
+}
+
+// batcher owns the pending-batch table. One per Server when batching is on.
+type batcher struct {
+	window  time.Duration
+	maxCols int
+	reg     *obs.Registry
+	mu      sync.Mutex
+	pending map[batchKey]*batch
+}
+
+var batchWidthBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+func newBatcher(window time.Duration, maxCols int, reg *obs.Registry) *batcher {
+	if window <= 0 {
+		return nil
+	}
+	if maxCols <= 0 {
+		maxCols = 16
+	}
+	return &batcher{window: window, maxCols: maxCols, reg: reg, pending: map[batchKey]*batch{}}
+}
+
+// solve enqueues cols under key and blocks until the coalesced solve
+// completes (returning this request's results and the executed batch width)
+// or ctx dies (the batch keeps running for the other waiters; this request
+// just stops waiting). exec is used only by the request that opens the
+// batch — all joiners share the same handle and options, so any request's
+// executor is interchangeable.
+func (bt *batcher) solve(ctx context.Context, key batchKey, cols [][]float64, exec batchExec) ([]hcd.SolveResult, int, error) {
+	done := make(chan batchOut, 1)
+	bt.mu.Lock()
+	b := bt.pending[key]
+	if b == nil || b.fired {
+		b = &batch{fire: make(chan struct{})}
+		bt.pending[key] = b
+		// Detach the batch from this request's cancellation but keep its
+		// observability values: a waiter hanging up must not kill the solve
+		// for the rest of the batch.
+		bctx := context.WithoutCancel(ctx)
+		go bt.run(bctx, key, b, exec)
+	}
+	lo := len(b.cols)
+	b.cols = append(b.cols, cols...)
+	b.subs = append(b.subs, batchSub{lo: lo, hi: len(b.cols), done: done})
+	fireNow := !b.fired && len(b.cols) >= bt.maxCols
+	if fireNow {
+		b.fired = true
+	}
+	bt.mu.Unlock()
+	if fireNow {
+		close(b.fire)
+	}
+	select {
+	case out := <-done:
+		return out.results, out.width, out.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// run waits out the batch window (or an early fire), seals the batch, runs
+// the coalesced solve, and distributes per-request slices of the results.
+func (bt *batcher) run(ctx context.Context, key batchKey, b *batch, exec batchExec) {
+	t := time.NewTimer(bt.window)
+	select {
+	case <-t.C:
+	case <-b.fire:
+		t.Stop()
+	}
+	bt.mu.Lock()
+	b.fired = true
+	if bt.pending[key] == b {
+		delete(bt.pending, key)
+	}
+	cols, subs := b.cols, b.subs
+	bt.mu.Unlock()
+
+	width := len(subs)
+	results, err := exec(ctx, cols)
+	if bt.reg != nil {
+		bt.reg.Histogram(metricBatchWidth, batchWidthBuckets).Observe(float64(width))
+		if width > 1 {
+			bt.reg.Counter(metricBatchedSolves).Add(int64(width))
+		}
+	}
+	for _, sub := range subs {
+		out := batchOut{width: width, err: err}
+		if err == nil {
+			if sub.hi <= len(results) {
+				out.results = results[sub.lo:sub.hi]
+			} else {
+				out.err = fmt.Errorf("serve: batch solve returned %d results for %d columns", len(results), sub.hi)
+			}
+		}
+		sub.done <- out // buffered: a departed waiter never blocks the batch
+	}
+}
+
+// batchedSolve routes one request's right-hand sides through the server
+// batcher: the columns join (or open) the pending batch for (id, tol,
+// maxIter), and the executed batch checks out one pooled engine and runs all
+// coalesced columns through hcd.Do's block path. Returns this request's
+// results plus the width (requests) of the batch that served them.
+func (s *Server) batchedSolve(ctx context.Context, id string, g *hcd.Graph, hier *hcd.Hierarchy, pool *enginePool, cols [][]float64, opt hcd.SolveOptions) (*hcd.SolveResponse, int, error) {
+	key := batchKey{handle: id, tol: opt.Tol, maxIter: opt.MaxIter}
+	exec := func(bctx context.Context, all [][]float64) ([]hcd.SolveResult, error) {
+		eng, err := pool.acquire(bctx)
+		if err != nil {
+			return nil, err
+		}
+		defer pool.release(eng)
+		resp, err := hcd.Do(bctx, g, hcd.SolveRequest{
+			B: all, Options: opt, M: hier, Method: hcd.SolveMethodPCG, Engine: eng,
+		})
+		return resp.Results, err
+	}
+	results, width, err := s.batch.solve(ctx, key, cols, exec)
+	return &hcd.SolveResponse{Results: results}, width, err
+}

@@ -40,6 +40,10 @@ const (
 	metricDegradedSolves   = "serve_degraded_solves_total" // solves served by the CG fallback rung
 	metricBreakerOpen      = "serve_breaker_open_total"    // handles tripped into degraded
 	metricDeadlineExceeded = "serve_deadline_exceeded_total"
+
+	// Solve micro-batching (PR 9).
+	metricBatchedSolves = "serve_batched_solves_total" // requests served via a coalesced batch (width ≥ 2)
+	metricBatchWidth    = "serve_batch_width"          // histogram: requests per executed batch
 )
 
 var durationBuckets = []float64{

@@ -1,0 +1,550 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"hcd/internal/faultinject"
+	"hcd/internal/graph"
+	"hcd/internal/obs"
+	"hcd/internal/par"
+)
+
+// Block PCG: one preconditioned-CG iteration driving k right-hand sides at
+// once. Each column runs its own scalar PCG recurrence — its own α, β, rz —
+// but every matvec, preconditioner apply and level-1 kernel walks the packed
+// [n][k] block in a single traversal, so the CSR matrix, the hierarchy
+// quotients and the work vectors stream through memory once per iteration
+// instead of once per column. On bandwidth-bound Laplacian solves that
+// amortization is the whole win; the arithmetic is identical to k scalar
+// solves.
+//
+// Columns converge (or fail) independently: a finished column's iterate is
+// copied out and the packed block is left-compacted, so the active width
+// shrinks and later iterations do proportionally less work (deflation).
+// k = 1 is routed to the scalar core and is bit-identical to PCGCtx.
+//
+// Options.Recovery is not supported here — per-column restart schedules
+// would desynchronize the block. Callers wanting recovery run the scalar
+// path per column (hcd.Do does exactly that).
+
+// BlockApplier is the optional fast path an Operator or Preconditioner can
+// implement to apply itself to k packed row-major columns in one traversal
+// (dst[v*k+j] = (A·x_j)[v]). Operators that don't implement it are applied
+// column by column through staging vectors.
+type BlockApplier interface {
+	ApplyBlock(dst, x []float64, k int)
+}
+
+// applier is the shape Operator and Preconditioner share; the block core
+// treats both uniformly.
+type applier interface {
+	Apply(dst, x []float64)
+}
+
+// blockScratch owns the work buffers of one block solve. An Engine keeps one
+// alive so repeated block solves reuse every buffer; the packed buffers are
+// sized n·k and shrink-to-fit is never performed, so a warmed scratch
+// allocates nothing for any solve with the same or smaller n·k.
+type blockScratch struct {
+	x, r, z, p, ap []float64 // packed row-major [n][kActive]
+	colIn, colOut  []float64 // column staging for non-block Apply fallback
+	partial        []float64 // chunked-reduction partial table, [chunks][k]
+
+	// Per-active-position state, compacted alongside the packed buffers.
+	rz, rzNew, refNorm         []float64
+	pap, alpha, beta, mean, rn []float64
+	rawNorm                    []float64
+	active                     []int // active position -> original column
+	dead                       []bool
+	keep                       []int
+
+	// Per original column, reused across solves on one Engine.
+	xcols  [][]float64
+	resid  [][]float64
+	alphas [][]float64
+	betas  [][]float64
+
+	allocs int
+}
+
+// vec returns *buf resized to n, reusing capacity when possible.
+func (s *blockScratch) vec(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+		s.allocs++
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// col returns the j-th per-column buffer resized to n.
+func (s *blockScratch) col(bufs *[][]float64, j, n int) []float64 {
+	for len(*bufs) <= j {
+		*bufs = append(*bufs, nil)
+	}
+	if cap((*bufs)[j]) < n {
+		(*bufs)[j] = make([]float64, n)
+		s.allocs++
+	}
+	(*bufs)[j] = (*bufs)[j][:n]
+	return (*bufs)[j]
+}
+
+// ints / bools mirror vec for the small index buffers.
+func (s *blockScratch) ints(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (s *blockScratch) bools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// applyBlock applies op to the packed [n][kA] block: one fused traversal
+// when op implements BlockApplier, otherwise column by column through the
+// staging vectors. A width-1 block is a plain vector, so it goes straight
+// through the scalar Apply.
+func (s *blockScratch) applyBlock(op applier, dst, x []float64, n, kA int) {
+	if kA == 1 {
+		op.Apply(dst[:n], x[:n])
+		return
+	}
+	if ba, ok := op.(BlockApplier); ok {
+		ba.ApplyBlock(dst[:n*kA], x[:n*kA], kA)
+		return
+	}
+	in := s.vec(&s.colIn, n)
+	out := s.vec(&s.colOut, n)
+	for j := 0; j < kA; j++ {
+		for v := 0; v < n; v++ {
+			in[v] = x[v*kA+j]
+		}
+		op.Apply(out, in)
+		for v := 0; v < n; v++ {
+			dst[v*kA+j] = out[v]
+		}
+	}
+}
+
+// BlockPCGCtx solves A·x_j = b_j for all columns of bs with block PCG and
+// fresh work buffers, returning one Result per column (same order). A single
+// right-hand side delegates to PCGCtx and is bit-identical to it. See
+// Engine.SolveBlock for the buffer-reusing form.
+func BlockPCGCtx(ctx context.Context, a Operator, m Preconditioner, bs [][]float64, opt Options) ([]Result, error) {
+	if len(bs) == 1 {
+		res, err := PCGCtx(ctx, a, m, bs[0], opt)
+		if err != nil {
+			return nil, err
+		}
+		return []Result{res}, nil
+	}
+	var s blockScratch
+	return blockCore(ctx, a, m, bs, opt, &s)
+}
+
+// blockCore is the block-PCG driver. It mirrors pcgIter's operation order
+// exactly — same guard sequence, same breakdown checks in the same places —
+// but runs every step k columns wide and deflates columns as they finish.
+func blockCore(ctx context.Context, a Operator, m Preconditioner, bs [][]float64, opt Options, s *blockScratch) (results []Result, err error) {
+	ctx, sp := obs.StartSpan(ctx, "solve/block-pcg")
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("solver: panic during solve: %w", par.AsError(v))
+		}
+		if sp != nil {
+			sp.Arg("k", len(bs))
+			if err == nil && len(results) > 0 {
+				iters := 0
+				for i := range results {
+					if results[i].Iterations > iters {
+						iters = results[i].Iterations
+					}
+				}
+				sp.Arg("iterations", iters)
+			}
+		}
+		sp.End()
+		if err == nil {
+			if reg := obs.RegistryFrom(ctx); reg != nil {
+				for i := range results {
+					results[i].Metrics.Publish(reg)
+					publishOutcome(reg, "pcg", results[i].Outcome)
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	n := a.Dim()
+	k := len(bs)
+	if k == 0 {
+		return nil, fmt.Errorf("solver: block solve with no right-hand sides: %w", graph.ErrBadDimension)
+	}
+	for j, b := range bs {
+		if len(b) != n {
+			return nil, fmt.Errorf("solver: rhs %d length %d vs operator dimension %d: %w", j, len(b), n, graph.ErrBadDimension)
+		}
+	}
+	if m == nil {
+		m = Identity(n)
+	}
+	if m.Dim() != n {
+		return nil, fmt.Errorf("solver: preconditioner dimension %d vs operator dimension %d: %w", m.Dim(), n, graph.ErrBadDimension)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10*n + 50
+	}
+	if opt.CheckEvery <= 0 {
+		opt.CheckEvery = 8
+	}
+	divTol := opt.DivergenceTol
+	if divTol == 0 {
+		divTol = 1e8
+	}
+	stagEps := opt.StagnationEps
+	if stagEps <= 0 {
+		stagEps = 1e-3
+	}
+
+	startAllocs := s.allocs
+	nk := n * k
+	x := s.vec(&s.x, nk)
+	zero(x)
+	r := s.vec(&s.r, nk)
+	packColumns(bs, r, n, k)
+	z := s.vec(&s.z, nk)
+	p := s.vec(&s.p, nk)
+	ap := s.vec(&s.ap, nk)
+
+	rawNorm := s.vec(&s.rawNorm, k)
+	refNorm := s.vec(&s.refNorm, k)
+	rz := s.vec(&s.rz, k)
+	rzNew := s.vec(&s.rzNew, k)
+	papv := s.vec(&s.pap, k)
+	alpha := s.vec(&s.alpha, k)
+	beta := s.vec(&s.beta, k)
+	mean := s.vec(&s.mean, k)
+	rn := s.vec(&s.rn, k)
+	dead := s.bools(&s.dead, k)
+
+	results = make([]Result, k)
+	for j := 0; j < k; j++ {
+		results[j].X = s.col(&s.xcols, j, n)
+		zero(results[j].X)
+		results[j].Residuals = s.col(&s.resid, j, 0)[:0]
+		results[j].Alphas = s.col(&s.alphas, j, 0)[:0]
+		results[j].Betas = s.col(&s.betas, j, 0)[:0]
+	}
+
+	// ‖b‖ before projection, then project and measure again: a right-hand
+	// side that is numerically all null-space component has nothing left to
+	// solve (same criterion as the scalar path).
+	s.blockNormSq(r, n, k, rawNorm)
+	for j := range rawNorm {
+		rawNorm[j] = math.Sqrt(rawNorm[j])
+	}
+	if opt.ProjectMean {
+		s.blockColSums(r, n, k, mean)
+		for j := range mean {
+			mean[j] /= float64(n)
+		}
+		s.blockSubMeanNormSq(r, n, k, mean, rn)
+		for j := range rn {
+			rn[j] = math.Sqrt(rn[j])
+		}
+	} else {
+		copy(rn, rawNorm)
+	}
+	active := s.ints(&s.active, 0)[:0]
+	for j := 0; j < k; j++ {
+		normB := rn[j]
+		refNorm[j] = normB
+		results[j].Residuals = append(results[j].Residuals, normB)
+		if normB == 0 || normB <= 1e-13*rawNorm[j] {
+			results[j].Outcome = OutcomeConverged
+			continue
+		}
+		results[j].Outcome = OutcomeMaxIter
+		active = append(active, j)
+	}
+	s.active = active
+	if len(active) < k && len(active) > 0 {
+		// Some columns converged at iteration 0: compact the block before
+		// the first preconditioner apply.
+		keep := s.keep[:0]
+		for pos, j := range active {
+			_ = pos
+			keep = append(keep, j)
+		}
+		compactPacked(r, n, k, keep)
+		compactFlat(refNorm, keep)
+		s.keep = keep
+	}
+	kA := len(active)
+	setupDone := time.Now()
+	iterStart := time.Time{}
+
+	if kA > 0 {
+		s.applyBlock(m, z, r, n, kA)
+		for _, j := range active {
+			results[j].Metrics.PrecondApplies++
+		}
+		if opt.ProjectMean {
+			s.blockColSums(z, n, kA, mean)
+			for j := 0; j < kA; j++ {
+				mean[j] /= float64(n)
+			}
+			s.blockSubMeanDot(z, r, n, kA, mean, rz)
+		} else {
+			s.blockDots(r, z, n, kA, rz)
+		}
+		copy(p[:n*kA], z[:n*kA])
+		iterStart = time.Now()
+
+		for iter := 0; iter < opt.MaxIter && kA > 0; iter++ {
+			if iter%opt.CheckEvery == 0 && ctx.Err() != nil {
+				for _, j := range s.active {
+					results[j].Outcome = OutcomeCancelled
+				}
+				break
+			}
+			s.applyBlock(a, ap, p, n, kA)
+			for _, j := range s.active {
+				results[j].Metrics.MatVecs++
+			}
+			if faultinject.Enabled() && faultinject.Fire(faultinject.MatvecNaN) {
+				ap[0] = math.NaN()
+			}
+			s.blockDots(p, ap, n, kA, papv)
+			if faultinject.Enabled() && faultinject.Fire(faultinject.ForceBreakdown) {
+				papv[0] = -1
+			}
+			anyDead := false
+			for pos := 0; pos < kA; pos++ {
+				if pap := papv[pos]; pap <= 0 || math.IsNaN(pap) {
+					j := s.active[pos]
+					results[j].Outcome = OutcomeBreakdown
+					results[j].Reason = fmt.Sprintf("non-positive curvature pᵀAp = %g at iteration %d", pap, iter+1)
+					dead[pos] = true
+					anyDead = true
+				} else {
+					dead[pos] = false
+				}
+			}
+			if anyDead {
+				kA = s.deflate(results, n, kA, dead, papv)
+				if kA == 0 {
+					break
+				}
+			}
+			for pos := 0; pos < kA; pos++ {
+				alpha[pos] = rz[pos] / papv[pos]
+				j := s.active[pos]
+				results[j].Alphas = append(results[j].Alphas, alpha[pos])
+			}
+			// Fused update: x += α∘p, r −= α∘ap, with the projection sums
+			// (or residual norms) accumulated in the same sweep.
+			if opt.ProjectMean {
+				s.blockUpdateXRSums(x, r, p, ap, alpha, n, kA, mean)
+				for pos := 0; pos < kA; pos++ {
+					mean[pos] /= float64(n)
+				}
+				s.blockSubMeanNormSq(r, n, kA, mean, rn)
+			} else {
+				s.blockUpdateXRNormSq(x, r, p, ap, alpha, n, kA, rn)
+			}
+			maxRn := 0.0
+			for pos := 0; pos < kA; pos++ {
+				rn[pos] = math.Sqrt(rn[pos])
+				if rn[pos] > maxRn || math.IsNaN(rn[pos]) {
+					maxRn = rn[pos]
+				}
+			}
+			anyDead = false
+			for pos := 0; pos < kA; pos++ {
+				j := s.active[pos]
+				res := &results[j]
+				res.Residuals = append(res.Residuals, rn[pos])
+				res.Iterations = iter + 1
+				dead[pos] = false
+				// Guards in the scalar path's severity order.
+				switch v := rn[pos]; {
+				case math.IsNaN(v) || math.IsInf(v, 0):
+					res.Outcome = OutcomeBreakdown
+					res.Reason = fmt.Sprintf("non-finite residual ‖r‖ = %g at iteration %d", v, res.Iterations)
+					dead[pos] = true
+				case v <= opt.Tol*refNorm[pos]:
+					res.Outcome = OutcomeConverged
+					dead[pos] = true
+				case divTol > 0 && v > divTol*refNorm[pos]:
+					res.Outcome = OutcomeDiverged
+					res.Reason = fmt.Sprintf("residual ‖r‖ = %g exceeded %g·‖r₀‖ = %g at iteration %d",
+						v, divTol, divTol*refNorm[pos], res.Iterations)
+					dead[pos] = true
+				default:
+					if w := opt.StagnationWindow; w > 0 && res.Iterations >= w {
+						ref := res.Residuals[len(res.Residuals)-1-w]
+						if v >= (1-stagEps)*ref {
+							res.Outcome = OutcomeStagnated
+							res.Reason = fmt.Sprintf("residual improved < %g relative over the last %d iterations (‖r‖ %g → %g)",
+								stagEps, w, ref, v)
+							dead[pos] = true
+						}
+					}
+				}
+				anyDead = anyDead || dead[pos]
+			}
+			if opt.Progress != nil {
+				opt.Progress(iter+1, maxRn)
+			}
+			if opt.Observer != nil {
+				opt.Observer.ObserveIteration(iter+1, maxRn)
+			}
+			if anyDead {
+				kA = s.deflate(results, n, kA, dead)
+				if kA == 0 {
+					break
+				}
+			}
+			s.applyBlock(m, z, r, n, kA)
+			for _, j := range s.active {
+				results[j].Metrics.PrecondApplies++
+			}
+			if opt.ProjectMean {
+				s.blockColSums(z, n, kA, mean)
+				for pos := 0; pos < kA; pos++ {
+					mean[pos] /= float64(n)
+				}
+				s.blockSubMeanDot(z, r, n, kA, mean, rzNew)
+			} else {
+				s.blockDots(r, z, n, kA, rzNew)
+			}
+			anyDead = false
+			for pos := 0; pos < kA; pos++ {
+				if v := rzNew[pos]; v <= 0 || math.IsNaN(v) {
+					j := s.active[pos]
+					results[j].Outcome = OutcomeBreakdown
+					results[j].Reason = fmt.Sprintf("non-positive rᵀz = %g at iteration %d", v, results[j].Iterations)
+					dead[pos] = true
+					anyDead = true
+				} else {
+					dead[pos] = false
+				}
+			}
+			if anyDead {
+				kA = s.deflate(results, n, kA, dead, rzNew)
+				if kA == 0 {
+					break
+				}
+			}
+			for pos := 0; pos < kA; pos++ {
+				beta[pos] = rzNew[pos] / rz[pos]
+				j := s.active[pos]
+				results[j].Betas = append(results[j].Betas, beta[pos])
+			}
+			blockXPBY(p, z, beta, n, kA)
+			copy(rz[:kA], rzNew[:kA])
+		}
+	}
+
+	// Columns still active (budget exhausted or cancelled) keep their current
+	// iterate.
+	for pos, j := range s.active {
+		xc := results[j].X
+		for v := 0; v < n; v++ {
+			xc[v] = x[v*kA+pos]
+		}
+	}
+
+	now := time.Now()
+	setup := setupDone.Sub(start)
+	iterDur := time.Duration(0)
+	if !iterStart.IsZero() {
+		iterDur = now.Sub(iterStart)
+	}
+	scratchAllocs := s.allocs - startAllocs
+	for j := 0; j < k; j++ {
+		res := &results[j]
+		res.Converged = res.Outcome == OutcomeConverged
+		res.Metrics.Iterations = res.Iterations
+		if nres := len(res.Residuals); nres > 0 {
+			res.Metrics.FinalResidual = res.Residuals[nres-1]
+		}
+		// Timing and scratch growth are properties of the shared block
+		// traversal; every column reports the block-level values.
+		res.Metrics.SetupTime = setup
+		res.Metrics.IterTime = iterDur
+		res.Metrics.TotalTime = setup + iterDur
+		res.Metrics.ScratchAllocs = scratchAllocs
+		// Hand the (possibly grown) history buffers back for reuse.
+		s.xcols[j] = res.X
+		s.resid[j] = res.Residuals
+		s.alphas[j] = res.Alphas
+		s.betas[j] = res.Betas
+	}
+	return results, nil
+}
+
+// deflate copies every dead column's iterate into its per-column solution
+// buffer and left-compacts the packed block, the persistent per-position
+// state (refNorm, rz) and any extra per-position arrays the caller is about
+// to read (extras), then shrinks the active set. Returns the new width.
+func (s *blockScratch) deflate(results []Result, n, kA int, dead []bool, extras ...[]float64) int {
+	keep := s.keep[:0]
+	for pos := 0; pos < kA; pos++ {
+		if dead[pos] {
+			j := s.active[pos]
+			xc := results[j].X
+			for v := 0; v < n; v++ {
+				xc[v] = s.x[v*kA+pos]
+			}
+		} else {
+			keep = append(keep, pos)
+		}
+	}
+	s.keep = keep
+	newK := len(keep)
+	if newK == kA {
+		return kA
+	}
+	if newK > 0 {
+		compactPacked(s.x, n, kA, keep)
+		compactPacked(s.r, n, kA, keep)
+		compactPacked(s.z, n, kA, keep)
+		compactPacked(s.p, n, kA, keep)
+		compactPacked(s.ap, n, kA, keep)
+		compactFlat(s.refNorm, keep)
+		compactFlat(s.rz, keep)
+		for _, ex := range extras {
+			compactFlat(ex, keep)
+		}
+	}
+	act := s.active
+	for idx, pos := range keep {
+		act[idx] = act[pos]
+	}
+	s.active = act[:newK]
+	return newK
+}
+
+// compactFlat left-compacts a per-position array to the kept positions.
+func compactFlat(buf []float64, keep []int) {
+	for idx, pos := range keep {
+		buf[idx] = buf[pos]
+	}
+}

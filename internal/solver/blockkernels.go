@@ -1,0 +1,237 @@
+package solver
+
+import "hcd/internal/par"
+
+// Block (multi-RHS) level-1 kernels. All of them operate on packed row-major
+// [n][k] blocks — entry (v, j) lives at x[v*k+j] — so one sweep over the
+// block streams each cache line once for all k columns, where the scalar
+// kernels would stream the vectors k separate times. The hot kernels are
+// *fused*: the PCG update x += α∘p, r −= α∘ap runs in the same pass that
+// accumulates the column sums (or squared norms) the next step needs,
+// cutting the per-iteration memory passes roughly in half versus running the
+// scalar kernel sequence per column.
+//
+// Reductions use a fixed chunk partition that depends only on (n, k), never
+// on the worker count: per-chunk partials are written into a scratch table
+// and combined in chunk order, so every reduction — and therefore the whole
+// block solve — is bit-identical at any GOMAXPROCS. (The scalar kernels
+// instead switch between a serial loop and par.ReduceSum, which is why the
+// k=1 path delegates to the scalar core rather than emulating it here.)
+
+// blockGrain returns the per-chunk row count for width-k block kernels: the
+// scalar kernel grain scaled down by the block width so a chunk touches
+// roughly the same number of floats, floored to bound scheduling overhead.
+// It must depend only on k — the reduction chunk layout derives from it.
+func blockGrain(k int) int {
+	g := kernelGrain / k
+	if g < 512 {
+		g = 512
+	}
+	return g
+}
+
+// reduceRows runs fn over a fixed partition of [0, n) into blockGrain(k)-row
+// chunks, each accumulating per-column partials into its own k-wide slot of
+// the scratch partial table, then combines the partials in chunk order. The
+// partition and combination order are functions of (n, k) alone, so the
+// result is bit-identical at any GOMAXPROCS. fn may also mutate the block
+// elementwise (the fused kernels do); chunks cover disjoint row ranges, so
+// such writes never race.
+func (s *blockScratch) reduceRows(n, k int, out []float64, fn func(lo, hi int, acc []float64)) {
+	for j := 0; j < k; j++ {
+		out[j] = 0
+	}
+	grain := blockGrain(k)
+	chunks := (n + grain - 1) / grain
+	if chunks <= 1 {
+		fn(0, n, out)
+		return
+	}
+	partial := s.vec(&s.partial, chunks*k)
+	zero(partial)
+	run := func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi, partial[c*k:c*k+k])
+		}
+	}
+	if par.Workers() == 1 {
+		// Same chunk partition as the parallel path: still one fn call per
+		// chunk, so the partial sums round identically.
+		run(0, chunks)
+	} else {
+		par.For(chunks, 1, run)
+	}
+	for c := 0; c < chunks; c++ {
+		p := partial[c*k : c*k+k]
+		for j := 0; j < k; j++ {
+			out[j] += p[j]
+		}
+	}
+}
+
+// blockDots computes out[j] = Σ_v a[v·k+j]·b[v·k+j] for each column j.
+func (s *blockScratch) blockDots(a, b []float64, n, k int, out []float64) {
+	s.reduceRows(n, k, out, func(lo, hi int, acc []float64) {
+		for v := lo; v < hi; v++ {
+			av := a[v*k : v*k+k : v*k+k]
+			bv := b[v*k : v*k+k : v*k+k]
+			for j := range av {
+				acc[j] += av[j] * bv[j]
+			}
+		}
+	})
+}
+
+// blockNormSq computes out[j] = Σ_v x[v·k+j]² (squared column norms).
+func (s *blockScratch) blockNormSq(x []float64, n, k int, out []float64) {
+	s.reduceRows(n, k, out, func(lo, hi int, acc []float64) {
+		for v := lo; v < hi; v++ {
+			xv := x[v*k : v*k+k : v*k+k]
+			for j := range xv {
+				acc[j] += xv[j] * xv[j]
+			}
+		}
+	})
+}
+
+// blockColSums computes out[j] = Σ_v x[v·k+j] (pass 1 of the block mean
+// projection).
+func (s *blockScratch) blockColSums(x []float64, n, k int, out []float64) {
+	s.reduceRows(n, k, out, func(lo, hi int, acc []float64) {
+		for v := lo; v < hi; v++ {
+			xv := x[v*k : v*k+k : v*k+k]
+			for j := range xv {
+				acc[j] += xv[j]
+			}
+		}
+	})
+}
+
+// blockSubMeanNormSq subtracts mean[j] from column j and accumulates the new
+// squared column norms in the same sweep (fused pass 2 of the projection).
+func (s *blockScratch) blockSubMeanNormSq(x []float64, n, k int, mean, out []float64) {
+	s.reduceRows(n, k, out, func(lo, hi int, acc []float64) {
+		for v := lo; v < hi; v++ {
+			xv := x[v*k : v*k+k : v*k+k]
+			for j := range xv {
+				xv[j] -= mean[j]
+				acc[j] += xv[j] * xv[j]
+			}
+		}
+	})
+}
+
+// blockSubMeanDot subtracts mean[j] from z's column j and accumulates the
+// preconditioned inner product out[j] = rᵀz in the same sweep (the fused
+// z-projection + rᵀz step).
+func (s *blockScratch) blockSubMeanDot(z, r []float64, n, k int, mean, out []float64) {
+	s.reduceRows(n, k, out, func(lo, hi int, acc []float64) {
+		for v := lo; v < hi; v++ {
+			zv := z[v*k : v*k+k : v*k+k]
+			rv := r[v*k : v*k+k : v*k+k]
+			for j := range zv {
+				zv[j] -= mean[j]
+				acc[j] += rv[j] * zv[j]
+			}
+		}
+	})
+}
+
+// blockUpdateXRSums is the fused PCG update for projected (singular) systems:
+// x += α∘p, r −= α∘ap, with the new residual's column sums — pass 1 of the
+// next mean projection — accumulated in the same sweep.
+func (s *blockScratch) blockUpdateXRSums(x, r, p, ap, alpha []float64, n, k int, sums []float64) {
+	s.reduceRows(n, k, sums, func(lo, hi int, acc []float64) {
+		for v := lo; v < hi; v++ {
+			xv := x[v*k : v*k+k : v*k+k]
+			rv := r[v*k : v*k+k : v*k+k]
+			pv := p[v*k : v*k+k : v*k+k]
+			av := ap[v*k : v*k+k : v*k+k]
+			for j := range xv {
+				a := alpha[j]
+				xv[j] += a * pv[j]
+				rv[j] -= a * av[j]
+				acc[j] += rv[j]
+			}
+		}
+	})
+}
+
+// blockUpdateXRNormSq is the fused PCG update for non-projected systems:
+// x += α∘p, r −= α∘ap, accumulating the new squared residual norms directly.
+func (s *blockScratch) blockUpdateXRNormSq(x, r, p, ap, alpha []float64, n, k int, out []float64) {
+	s.reduceRows(n, k, out, func(lo, hi int, acc []float64) {
+		for v := lo; v < hi; v++ {
+			xv := x[v*k : v*k+k : v*k+k]
+			rv := r[v*k : v*k+k : v*k+k]
+			pv := p[v*k : v*k+k : v*k+k]
+			av := ap[v*k : v*k+k : v*k+k]
+			for j := range xv {
+				a := alpha[j]
+				xv[j] += a * pv[j]
+				rv[j] -= a * av[j]
+				acc[j] += rv[j] * rv[j]
+			}
+		}
+	})
+}
+
+// blockXPBY computes p = z + β∘p per column (the direction update).
+// Elementwise, so any chunking is bit-identical; uses par.For directly.
+func blockXPBY(p, z, beta []float64, n, k int) {
+	grain := blockGrain(k)
+	if n <= grain || par.Workers() == 1 {
+		blockXPBYRange(p, z, beta, k, 0, n)
+		return
+	}
+	par.For(n, grain, func(lo, hi int) {
+		blockXPBYRange(p, z, beta, k, lo, hi)
+	})
+}
+
+func blockXPBYRange(p, z, beta []float64, k, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		pv := p[v*k : v*k+k : v*k+k]
+		zv := z[v*k : v*k+k : v*k+k]
+		for j := range pv {
+			pv[j] = zv[j] + beta[j]*pv[j]
+		}
+	}
+}
+
+// packColumns interleaves k column vectors into the packed row-major block.
+func packColumns(bs [][]float64, dst []float64, n, k int) {
+	grain := blockGrain(k)
+	fill := func(lo, hi int) {
+		for j, b := range bs {
+			for v := lo; v < hi; v++ {
+				dst[v*k+j] = b[v]
+			}
+		}
+	}
+	if n <= grain || par.Workers() == 1 {
+		fill(0, n)
+		return
+	}
+	par.For(n, grain, fill)
+}
+
+// compactPacked left-compacts the packed width-kA block to the kept column
+// positions (ascending). In place and serial: for ascending rows and
+// positions every write lands at or below the index it read from, and
+// deflation runs at most k times per solve, so this is never hot.
+func compactPacked(buf []float64, n, kA int, keep []int) {
+	newK := len(keep)
+	for v := 0; v < n; v++ {
+		src := buf[v*kA : v*kA+kA]
+		dst := buf[v*newK : v*newK+newK]
+		for idx, pos := range keep {
+			dst[idx] = src[pos]
+		}
+	}
+}

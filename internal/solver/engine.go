@@ -25,6 +25,7 @@ type Engine struct {
 	opt   Options
 	inUse atomic.Bool
 	s     scratch
+	bs    blockScratch // packed buffers for SolveBlock, grown on first use
 }
 
 // NewEngine builds a solve session. A nil preconditioner means plain CG.
@@ -81,6 +82,31 @@ func (e *Engine) SolveWith(ctx context.Context, b []float64, opt Options) (Resul
 	}
 	defer e.release()
 	return pcgCore(ctx, e.a, e.m, b, opt, &e.s)
+}
+
+// SolveBlock runs block PCG on the columns of bs with per-call options,
+// returning one Result per column (same order). All columns share every
+// matvec and preconditioner traversal; converged columns deflate out of the
+// active block. A single column delegates to the scalar core and is
+// bit-identical to Solve. Like Solve, the returned slices alias engine
+// buffers — each column's X, Residuals, Alphas and Betas are only valid
+// until the next call on the same engine.
+//
+// opt.Recovery is ignored on the block path (k > 1); use per-column scalar
+// solves when restart-on-breakdown is required.
+func (e *Engine) SolveBlock(ctx context.Context, bs [][]float64, opt Options) ([]Result, error) {
+	if err := e.acquire(); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	if len(bs) == 1 {
+		res, err := pcgCore(ctx, e.a, e.m, bs[0], opt, &e.s)
+		if err != nil {
+			return nil, err
+		}
+		return []Result{res}, nil
+	}
+	return blockCore(ctx, e.a, e.m, bs, opt, &e.bs)
 }
 
 // SolveChebyshev runs Chebyshev iteration on b given spectrum bounds

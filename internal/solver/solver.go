@@ -75,30 +75,68 @@ func (o OpFunc) Dim() int { return o.N }
 // Apply evaluates the wrapped function.
 func (o OpFunc) Apply(dst, x []float64) { o.F(dst, x) }
 
+// lapOperator wraps a graph Laplacian; it implements BlockApplier so block
+// solves stream the CSR once for all k columns.
+type lapOperator struct{ g *graph.Graph }
+
+func (o lapOperator) Dim() int                           { return o.g.N() }
+func (o lapOperator) Apply(dst, x []float64)             { o.g.LapMul(dst, x) }
+func (o lapOperator) ApplyBlock(dst, x []float64, k int) { o.g.LapMulBlock(dst, x, k) }
+
 // LapOperator wraps a graph Laplacian as an Operator. The matvec is
-// row-blocked over the CSR and runs across cores (see graph.LapMul).
+// row-blocked over the CSR and runs across cores (see graph.LapMul); it also
+// implements BlockApplier for multi-RHS block solves (graph.LapMulBlock).
 func LapOperator(g *graph.Graph) Operator {
-	return OpFunc{N: g.N(), F: g.LapMul}
+	return lapOperator{g}
 }
+
+// identity implements the trivial preconditioner for both scalar and block
+// applies (a packed block copies the same way a vector does).
+type identity struct{ n int }
+
+func (p identity) Dim() int                           { return p.n }
+func (p identity) Apply(dst, r []float64)             { copy(dst, r) }
+func (p identity) ApplyBlock(dst, r []float64, k int) { copy(dst, r) }
 
 // Identity is the trivial preconditioner (PCG degenerates to CG).
 func Identity(n int) Preconditioner {
-	return OpFunc{N: n, F: func(dst, r []float64) { copy(dst, r) }}
+	return identity{n}
+}
+
+// jacobi is the diagonal preconditioner; the block apply scales each packed
+// row by the same 1/d[v], one diagonal load per vertex for all k columns.
+type jacobi struct{ d []float64 }
+
+func (p jacobi) Dim() int { return len(p.d) }
+
+func (p jacobi) Apply(dst, r []float64) {
+	for i := range dst {
+		if p.d[i] > 0 {
+			dst[i] = r[i] / p.d[i]
+		} else {
+			dst[i] = r[i]
+		}
+	}
+}
+
+func (p jacobi) ApplyBlock(dst, r []float64, k int) {
+	for v := range p.d {
+		row := dst[v*k : v*k+k]
+		src := r[v*k : v*k+k]
+		if d := p.d[v]; d > 0 {
+			for j := range row {
+				row[j] = src[j] / d
+			}
+		} else {
+			copy(row, src)
+		}
+	}
 }
 
 // Jacobi returns the diagonal preconditioner D⁻¹ for the graph Laplacian.
 // Vertices with zero volume (isolated) pass through unchanged.
 func Jacobi(g *graph.Graph) Preconditioner {
-	d := g.Volumes()
-	return OpFunc{N: g.N(), F: func(dst, r []float64) {
-		for i := range dst {
-			if d[i] > 0 {
-				dst[i] = r[i] / d[i]
-			} else {
-				dst[i] = r[i]
-			}
-		}
-	}}
+	return jacobi{d: g.Volumes()}
 }
 
 // RecoveryPolicy configures restart-on-breakdown. After a recoverable

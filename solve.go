@@ -44,6 +44,7 @@ type SolveOutcome = solver.Outcome
 
 // Solve outcomes.
 const (
+	OutcomeUnknown   = solver.OutcomeUnknown
 	OutcomeConverged = solver.OutcomeConverged
 	OutcomeMaxIter   = solver.OutcomeMaxIter
 	OutcomeCancelled = solver.OutcomeCancelled
