@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-decomp bench-solve bench-json bench-scale scale-smoke vet fmt check race race-solver selfcheck chaos server-chaos fuzz server-smoke experiments fig6 coverage
+.PHONY: all build test bench bench-decomp bench-solve bench-json bench-scale bench-replay bench-gate replay-smoke scale-smoke vet fmt check race race-solver selfcheck chaos server-chaos fuzz server-smoke experiments fig6 coverage
 
 all: build test
 
@@ -19,8 +19,9 @@ vet:
 # check is the pre-merge gate: vet, the full suite under the race detector
 # (the parallel solver kernels run with GOMAXPROCS > 1 in tests), a short
 # fuzz pass over the input parsers, the fault-recovery chaos battery, the
-# serving-stack smoke battery, and the serving crash/recovery battery.
-check: vet race fuzz chaos server-smoke server-chaos
+# serving-stack smoke battery, the serving crash/recovery battery, the
+# scenario-replay smoke, and the replay-score regression gate.
+check: vet race fuzz chaos server-smoke server-chaos replay-smoke bench-gate
 
 race:
 	$(GO) test -race ./...
@@ -87,11 +88,32 @@ fuzz:
 # zero-alloc Engine solves.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate$$' -benchmem . \
-		| $(GO) run ./cmd/hcd-benchjson -out BENCH_evaluate.json
+		| $(GO) run ./cmd/hcd-benchjson -tags evaluate -out BENCH_evaluate.json
 	$(GO) test -run '^$$' -bench 'BenchmarkDecomposePipeline' -benchmem . \
-		| $(GO) run ./cmd/hcd-benchjson -out BENCH_decompose.json
+		| $(GO) run ./cmd/hcd-benchjson -tags decompose -out BENCH_decompose.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineWarmSolves|BenchmarkBlockSolve' -benchmem . \
-		| $(GO) run ./cmd/hcd-benchjson -out BENCH_solve.json
+		| $(GO) run ./cmd/hcd-benchjson -tags solve -out BENCH_solve.json
+
+# bench-replay: replay the committed `steady` scenario through the serving
+# stack in-process and write BENCH_replay.json — a benchfmt record whose
+# embedded report carries the deterministic fitness score. The score is
+# bit-identical across runs and GOMAXPROCS settings (PCG-only mix, exact
+# iteration-count quantiles), so hcd-benchdiff gates it with no noise margin.
+bench-replay:
+	$(GO) run ./cmd/hcd-replay -scenario steady -out BENCH_replay.json -gate
+
+# replay-smoke: the seconds-scale replay gate — generate and replay the
+# `smoke` scenario trace against the in-process serve stack and fail on any
+# deterministic SLO miss.
+replay-smoke:
+	$(GO) run ./cmd/hcd-replay -scenario smoke -gate
+
+# bench-gate: the perf-regression gate — rerun the steady replay to a temp
+# record and diff its deterministic score against the committed
+# BENCH_replay.json (absolute drop threshold; wall-clock metrics never gate).
+bench-gate:
+	$(GO) run ./cmd/hcd-replay -scenario steady -out /tmp/hcd_replay_new.json
+	$(GO) run ./cmd/hcd-benchdiff -old BENCH_replay.json -new /tmp/hcd_replay_new.json
 
 # bench-scale: the end-to-end scaling benchmark behind BENCH_scale.json —
 # decompose + hierarchy-build + PCG-solve a 10⁶-vertex weighted 3D grid,

@@ -1,0 +1,83 @@
+// Command hcd-benchdiff is the performance regression gate: it compares a
+// fresh BENCH_*.json record against the committed baseline and exits
+// non-zero when anything regressed past the thresholds.
+//
+// Three metrics gate, with different semantics:
+//
+//   - ns/op: flagged when the new value exceeds baseline by more than
+//     -max-regress (fractional; default 0.30 — generous, CI machines are
+//     noisy). Benchmarks are matched with the GOMAXPROCS suffix stripped.
+//   - allocs/op: same fractional threshold, except a baseline of zero
+//     allocations is treated as an invariant — any increase fails.
+//   - replay score: when both records carry a replay report (BENCH_replay.json),
+//     the deterministic fitness score gates on an absolute drop larger than
+//     -score-drop points. The score is bit-reproducible by construction, so
+//     this check has no noise margin to hide behind.
+//
+// Benchmarks present in only one record are ignored: adding or retiring a
+// benchmark is not a regression.
+//
+// Usage:
+//
+//	hcd-benchdiff -old BENCH_evaluate.json -new /tmp/bench_new.json
+//	hcd-benchdiff -old BENCH_replay.json -new /tmp/replay_new.json -score-drop 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hcd/internal/benchfmt"
+	"hcd/internal/cli"
+)
+
+func main() { cli.Main(run) }
+
+func run() error {
+	oldPath := flag.String("old", "", "committed baseline record (required)")
+	newPath := flag.String("new", "", "fresh record to gate (required)")
+	maxRegress := flag.Float64("max-regress", 0.30, "tolerated fractional ns/op (and allocs/op) increase")
+	scoreDrop := flag.Float64("score-drop", 5, "tolerated absolute replay fitness-score drop in points")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("hcd-benchdiff: -old and -new are both required")
+	}
+	read := func(path string) (benchfmt.Record, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return benchfmt.Record{}, fmt.Errorf("hcd-benchdiff: %w", err)
+		}
+		rec, err := benchfmt.Unmarshal(data)
+		if err != nil {
+			return benchfmt.Record{}, fmt.Errorf("hcd-benchdiff: %s: %w", path, err)
+		}
+		return rec, nil
+	}
+	oldRec, err := read(*oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := read(*newPath)
+	if err != nil {
+		return err
+	}
+
+	regs := benchfmt.Diff(oldRec, newRec, benchfmt.Thresholds{
+		MaxRegress: *maxRegress,
+		ScoreDrop:  *scoreDrop,
+	})
+	if len(regs) == 0 {
+		compared := len(newRec.Benchmarks)
+		if _, ok := newRec.ReplayScore(); ok {
+			compared++
+		}
+		fmt.Printf("hcd-benchdiff: no regressions (%s vs %s, %d entries compared)\n", *oldPath, *newPath, compared)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("hcd-benchdiff: %d regression(s) vs %s", len(regs), *oldPath)
+}

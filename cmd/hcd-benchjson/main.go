@@ -1,12 +1,15 @@
 // Command hcd-benchjson converts `go test -bench -benchmem` output on stdin
 // into a machine-readable JSON record: one entry per benchmark with ns/op,
 // B/op, allocs/op, the measured iteration count, and the host parallelism
-// the run had available. It backs the `make bench-json` target, which writes
-// BENCH_evaluate.json — the committed record behind BENCH.md.
+// the run had available, stamped with the git commit the tree was at and
+// optional record tags. It backs the `make bench-json` target, which writes
+// BENCH_evaluate.json — the committed record behind BENCH.md and the
+// hcd-benchdiff regression gate.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkEvaluate$' -benchmem . | hcd-benchjson -out BENCH_evaluate.json
+//	go test -bench . -benchmem ./... | hcd-benchjson -tags evaluate,ci
 //
 // With no -out flag the JSON goes to stdout. Non-benchmark lines (the ok/PASS
 // trailer, goos/goarch headers) pass through untouched on stderr so the
@@ -15,133 +18,53 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
-	"runtime"
-	"strconv"
 	"strings"
-	"time"
+
+	"hcd/internal/benchfmt"
+	"hcd/internal/cli"
 )
 
-// Result is one benchmark line in the emitted JSON.
-type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	// Procs is the GOMAXPROCS the benchmark ran at, decoded from the "-N"
-	// suffix go test appends to the name (0 when the name carries none).
-	Procs int `json:"procs,omitempty"`
-	// Metrics holds custom b.ReportMetric units (e.g. "rhs/sec" from the
-	// block-solve benchmark) keyed by unit string.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
+func main() { cli.Main(run) }
 
-// Record is the top-level JSON document.
-type Record struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
-func main() {
+func run() error {
 	out := flag.String("out", "", "output file (default stdout)")
+	tags := flag.String("tags", "", "comma-separated record tags (e.g. evaluate,ci)")
 	flag.Parse()
 
-	rec := Record{
-		Date:       time.Now().UTC().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	var tagList []string
+	for _, t := range strings.Split(*tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tagList = append(tagList, t)
+		}
 	}
+	rec := benchfmt.NewRecord(tagList...)
+
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		if r, ok := parseBenchLine(line); ok {
+		if r, ok := benchfmt.ParseBenchLine(line); ok {
 			rec.Benchmarks = append(rec.Benchmarks, r)
 		} else {
 			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatalf("hcd-benchjson: reading stdin: %v", err)
+		return fmt.Errorf("hcd-benchjson: reading stdin: %w", err)
 	}
 	if len(rec.Benchmarks) == 0 {
-		log.Fatal("hcd-benchjson: no benchmark lines on stdin (expected `go test -bench` output)")
+		return fmt.Errorf("hcd-benchjson: no benchmark lines on stdin (expected `go test -bench` output)")
 	}
-	buf, err := json.MarshalIndent(rec, "", "  ")
+	buf, err := rec.Marshal()
 	if err != nil {
-		log.Fatalf("hcd-benchjson: %v", err)
+		return fmt.Errorf("hcd-benchjson: %w", err)
 	}
-	buf = append(buf, '\n')
 	if *out == "" {
-		os.Stdout.Write(buf)
-		return
+		_, err = os.Stdout.Write(buf)
+		return err
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatalf("hcd-benchjson: %v", err)
-	}
-}
-
-// parseBenchLine decodes one `go test -bench` result line, e.g.
-//
-//	BenchmarkEvaluate-8   	       3	 412345678 ns/op	 1234 B/op	  56 allocs/op
-//
-// returning ok=false for anything that is not a benchmark result.
-func parseBenchLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Iterations: iters}
-	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
-		if p, perr := strconv.Atoi(r.Name[i+1:]); perr == nil && p > 0 {
-			r.Procs = p
-		}
-	}
-	seen := false
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, unit := fields[i], fields[i+1]
-		switch unit {
-		case "ns/op":
-			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
-				return Result{}, false
-			}
-			seen = true
-		case "B/op":
-			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
-				return Result{}, false
-			}
-		case "allocs/op":
-			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
-				return Result{}, false
-			}
-		default:
-			// Custom b.ReportMetric units ("rhs/sec", "MB/s", ...).
-			if strings.ContainsRune(unit, '/') {
-				if v, verr := strconv.ParseFloat(val, 64); verr == nil {
-					if r.Metrics == nil {
-						r.Metrics = make(map[string]float64)
-					}
-					r.Metrics[unit] = v
-				}
-			}
-		}
-	}
-	return r, seen
+	return os.WriteFile(*out, buf, 0o644)
 }

@@ -12,6 +12,7 @@
 //	hcd-server -addr :8080 -rate 100 -burst 200 -queue 64 -policy sjf
 //	hcd-server -addr :8080 -state-dir /var/lib/hcd   # durable handles
 //	hcd-server -addr :8080 -max-timeout 30s -breaker 3
+//	hcd-server -addr :8080 -log-json -log-level info   # JSON access logs
 //	hcd-server -smoke        # in-process smoke battery, exits 0/1
 //
 // With -state-dir, built hierarchies are snapshotted (checksummed binary
@@ -62,7 +63,13 @@ func run() (err error) {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM")
 	smoke := flag.Bool("smoke", false, "run the in-process smoke battery and exit")
 	o := cli.ObsFlags()
+	lg := cli.LogFlags()
 	flag.Parse()
+
+	logger, err := lg.Logger(os.Stdout)
+	if err != nil {
+		return err
+	}
 
 	// Start materializes -trace/-listen into a Tracer/Registry; the serve
 	// layer threads them through every request itself, so the returned
@@ -90,6 +97,7 @@ func run() (err error) {
 		BatchMaxWidth:    *batchWidth,
 		Registry:         o.Registry,
 		Tracer:           o.Tracer,
+		Logger:           logger,
 	}
 
 	if *smoke {
@@ -110,7 +118,13 @@ func run() (err error) {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Printf("hcd-server listening on %s\n", ln.Addr())
+	if logger != nil {
+		// Keep stdout machine-parseable: one structured record instead of
+		// the plain banner the chaos battery greps for (it runs unlogged).
+		logger.Info("listening", "addr", ln.Addr().String())
+	} else {
+		fmt.Printf("hcd-server listening on %s\n", ln.Addr())
+	}
 
 	select {
 	case serr := <-errc:

@@ -1,0 +1,175 @@
+// Package benchfmt is the shared format layer of the performance tooling:
+// the JSON record committed as BENCH_*.json, the `go test -bench` line
+// parser behind hcd-benchjson, and the regression differ behind
+// hcd-benchdiff. Keeping it in one package means the writer and the gate
+// can never drift apart on field names.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line in the emitted JSON.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Procs is the GOMAXPROCS the benchmark ran at, decoded from the "-N"
+	// suffix go test appends to the name (0 when the name carries none).
+	Procs int `json:"procs,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "rhs/sec" from the
+	// block-solve benchmark) keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BaseName strips the "-N" GOMAXPROCS suffix, the key the differ matches
+// benchmarks on — a record taken at -cpu 8 still gates a run at -cpu 4.
+func (r Result) BaseName() string {
+	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil && p > 0 {
+			return r.Name[:i]
+		}
+	}
+	return r.Name
+}
+
+// Record is the top-level committed JSON document.
+type Record struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Commit is the git commit hash of the tree the record was taken from
+	// (empty outside a git checkout).
+	Commit string `json:"commit,omitempty"`
+	// Tags label the record ("evaluate", "replay", "ci"...), so a directory
+	// of BENCH files stays self-describing.
+	Tags       []string `json:"tags,omitempty"`
+	Benchmarks []Result `json:"benchmarks,omitempty"`
+	// Replay carries a replay.Report verbatim when the record came from
+	// cmd/hcd-replay. It stays raw here: benchfmt gates on the score without
+	// importing the replay engine.
+	Replay json.RawMessage `json:"replay,omitempty"`
+}
+
+// NewRecord stamps a record with the run environment: date, toolchain,
+// host shape, git commit, and the caller's tags.
+func NewRecord(tags ...string) Record {
+	return Record{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     GitCommit(),
+		Tags:       tags,
+	}
+}
+
+// GitCommit returns the full commit hash of HEAD, or "" when the working
+// directory is not a git checkout (or git is unavailable) — absence of
+// provenance is not an error.
+func GitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Marshal renders the record as the committed file format (indented,
+// trailing newline).
+func (rec Record) Marshal() ([]byte, error) {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Unmarshal decodes a committed record.
+func Unmarshal(data []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, fmt.Errorf("benchfmt: bad record: %w", err)
+	}
+	return rec, nil
+}
+
+// ReplayScore extracts the fitness score from a record's replay section.
+// ok is false when the record carries no replay report.
+func (rec Record) ReplayScore() (float64, bool) {
+	if len(rec.Replay) == 0 {
+		return 0, false
+	}
+	var rep struct {
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(rec.Replay, &rep); err != nil {
+		return 0, false
+	}
+	return rep.Score, true
+}
+
+// ParseBenchLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkEvaluate-8   	       3	 412345678 ns/op	 1234 B/op	  56 allocs/op
+//
+// returning ok=false for anything that is not a benchmark result.
+func ParseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+		if p, perr := strconv.Atoi(r.Name[i+1:]); perr == nil && p > 0 {
+			r.Procs = p
+		}
+	}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+			seen = true
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		default:
+			// Custom b.ReportMetric units ("rhs/sec", "MB/s", ...).
+			if strings.ContainsRune(unit, '/') {
+				if v, verr := strconv.ParseFloat(val, 64); verr == nil {
+					if r.Metrics == nil {
+						r.Metrics = make(map[string]float64)
+					}
+					r.Metrics[unit] = v
+				}
+			}
+		}
+	}
+	return r, seen
+}

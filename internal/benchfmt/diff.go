@@ -1,0 +1,110 @@
+package benchfmt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Thresholds tune the regression gate. Zero values take the noted defaults.
+type Thresholds struct {
+	// MaxRegress is the tolerated fractional ns/op increase before a
+	// benchmark counts as regressed (default 0.30 — generous, because CI
+	// machines are noisy; tighten locally).
+	MaxRegress float64
+	// MaxAllocRegress is the tolerated fractional allocs/op increase
+	// (default: same as MaxRegress). Benchmarks whose baseline is zero
+	// allocations regress on any increase — zero-alloc paths are an
+	// invariant here, not a measurement.
+	MaxAllocRegress float64
+	// ScoreDrop is the tolerated absolute replay-score drop in points
+	// (default 5).
+	ScoreDrop float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.MaxRegress <= 0 {
+		t.MaxRegress = 0.30
+	}
+	if t.MaxAllocRegress <= 0 {
+		t.MaxAllocRegress = t.MaxRegress
+	}
+	if t.ScoreDrop <= 0 {
+		t.ScoreDrop = 5
+	}
+	return t
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"` // "ns/op", "allocs/op", "replay_score"
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Change is the fractional increase for per-op metrics and the absolute
+	// drop for the replay score.
+	Change float64 `json:"change"`
+}
+
+func (r Regression) String() string {
+	if r.Metric == "replay_score" {
+		return fmt.Sprintf("%s: %s %.4f -> %.4f (dropped %.4f)", r.Name, r.Metric, r.Old, r.New, r.Change)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (+%.1f%%)", r.Name, r.Metric, r.Old, r.New, r.Change*100)
+}
+
+// Diff gates a new record against a committed baseline and returns every
+// violation, sorted by benchmark name. Benchmarks are matched on BaseName
+// (the GOMAXPROCS suffix is stripped); entries present in only one record
+// are ignored — adding or retiring a benchmark is not a regression. When
+// both records carry replay reports, the fitness score gates too: the score
+// is deterministic by construction, so a drop is a real behaviour change,
+// not noise.
+func Diff(old, new Record, th Thresholds) []Regression {
+	th = th.withDefaults()
+	base := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		base[r.BaseName()] = r
+	}
+	var regs []Regression
+	for _, nr := range new.Benchmarks {
+		or, ok := base[nr.BaseName()]
+		if !ok {
+			continue
+		}
+		if or.NsPerOp > 0 && nr.NsPerOp > or.NsPerOp*(1+th.MaxRegress) {
+			regs = append(regs, Regression{
+				Name: nr.BaseName(), Metric: "ns/op",
+				Old: or.NsPerOp, New: nr.NsPerOp,
+				Change: nr.NsPerOp/or.NsPerOp - 1,
+			})
+		}
+		switch {
+		case or.AllocsPerOp == 0 && nr.AllocsPerOp > 0:
+			regs = append(regs, Regression{
+				Name: nr.BaseName(), Metric: "allocs/op",
+				Old: 0, New: float64(nr.AllocsPerOp), Change: float64(nr.AllocsPerOp),
+			})
+		case or.AllocsPerOp > 0 && float64(nr.AllocsPerOp) > float64(or.AllocsPerOp)*(1+th.MaxAllocRegress):
+			regs = append(regs, Regression{
+				Name: nr.BaseName(), Metric: "allocs/op",
+				Old: float64(or.AllocsPerOp), New: float64(nr.AllocsPerOp),
+				Change: float64(nr.AllocsPerOp)/float64(or.AllocsPerOp) - 1,
+			})
+		}
+	}
+	if oldScore, ok := old.ReplayScore(); ok {
+		if newScore, ok2 := new.ReplayScore(); ok2 && oldScore-newScore > th.ScoreDrop {
+			regs = append(regs, Regression{
+				Name: "replay", Metric: "replay_score",
+				Old: oldScore, New: newScore, Change: oldScore - newScore,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

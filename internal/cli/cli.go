@@ -24,6 +24,9 @@ import (
 //	tree:N           uniform random tree
 //	regular:N,D      random D-regular graph
 //	unit2d:SIDE      2D grid, unit weights
+//	road:SIDE        planar road network with district bottlenecks
+//	femesh:SIDE      graded, jittered FE triangulation, 1/length weights
+//	plaw:N,M         preferential-attachment power-law graph
 //	file:PATH        edge-list file ("u v w" lines)
 //	mm:PATH          MatrixMarket coordinate file
 //
@@ -48,9 +51,9 @@ func BuildGraph(spec string, seed int64) (*graph.Graph, error) {
 	}
 	var a, b int
 	switch kind {
-	case "regular":
+	case "regular", "plaw":
 		if _, err := fmt.Sscanf(arg, "%d,%d", &a, &b); err != nil {
-			return nil, fmt.Errorf("cli: regular spec needs N,D: %w", err)
+			return nil, fmt.Errorf("cli: %s spec needs N,M: %w", kind, err)
 		}
 	default:
 		if _, err := fmt.Sscanf(arg, "%d", &a); err != nil {
@@ -76,8 +79,23 @@ func BuildGraph(spec string, seed int64) (*graph.Graph, error) {
 		return treealg.RandomTree(rng, a, func() float64 { return 0.1 + rng.Float64()*10 }), nil
 	case "regular":
 		return workload.RandomRegular(a, b, workload.UniformWeight(0.5, 5), seed)
+	case "plaw":
+		return workload.PowerLaw(a, b, workload.UniformWeight(0.5, 5), seed)
 	case "unit2d":
 		return workload.Grid2D(a, a, nil, seed), nil
+	case "road":
+		// District side scales with the map: bigger maps get more districts
+		// of a fixed-ish size rather than bigger districts.
+		district := a / 4
+		if district < 2 {
+			district = 2
+		}
+		if district > 16 {
+			district = 16
+		}
+		return workload.RoadNetwork(a, a, district, workload.Lognormal(0.5), seed)
+	case "femesh":
+		return workload.FEMesh(a, a, -1, nil, seed)
 	default:
 		return nil, fmt.Errorf("cli: unknown graph kind %q", kind)
 	}

@@ -19,6 +19,9 @@ func TestBuildGraphSpecs(t *testing.T) {
 		{"tree:40", 40},
 		{"regular:20,4", 20},
 		{"unit2d:4", 16},
+		{"road:16", 256},
+		{"femesh:6", 36},
+		{"plaw:50,3", 50},
 	}
 	for _, c := range cases {
 		g, err := BuildGraph(c.spec, 1)
@@ -34,6 +37,7 @@ func TestBuildGraphSpecs(t *testing.T) {
 func TestBuildGraphErrors(t *testing.T) {
 	for _, spec := range []string{
 		"grid2d", "nope:5", "grid2d:x", "grid2d:0", "regular:5", "regular:5,3",
+		"plaw:5", "plaw:5,0", "femesh:1",
 		"file:/nonexistent/path.el",
 	} {
 		if _, err := BuildGraph(spec, 1); err == nil {

@@ -9,11 +9,10 @@ import "hcd/internal/par"
 // once per column — the same amortization the block Laplacian matvec gets
 // from the CSR.
 //
-// Unlike the scalar Apply, whose per-level scratch lives on the (shared)
-// Level structs, the block apply draws its work buffers from a sync.Pool and
-// serializes the coarse direct solve: concurrent ApplyBlock calls on one
-// Hierarchy — the server's batched solves land here through pooled engines —
-// are safe.
+// Like the scalar Apply, the block apply draws its work buffers from the
+// hierarchy's sync.Pool and serializes the coarse direct solve: concurrent
+// ApplyBlock calls on one Hierarchy — the server's batched solves land here
+// through pooled engines — are safe.
 //
 // Every step is elementwise, a fixed-order segmented sum, or the
 // GOMAXPROCS-invariant LapMulBlock, so ApplyBlock is bit-identical at any

@@ -56,8 +56,6 @@ type Level struct {
 	// order/start: vertices sorted by cluster, for the conflict-free
 	// parallel restriction (segmented sums).
 	order, start []int
-	// scratch buffers sized for this level
-	rq, xq, tmp, tmp2 []float64
 }
 
 // Hierarchy is a multilevel Steiner preconditioner.
@@ -66,8 +64,11 @@ type Hierarchy struct {
 	coarseG *graph.Graph
 	coarse  *dense.PinnedLaplacian
 	cbuf    []float64
-	// Block-apply state (block.go): pooled per-apply work buffers, and a
-	// lock serializing the scalar coarse factorization's internal scratch.
+	// Apply state: pooled per-apply work buffers shared by the scalar and
+	// block cycles, and a lock serializing the coarse factorization's
+	// internal scratch. Both make concurrent Apply/ApplyBlock calls on one
+	// Hierarchy safe — the server's pooled engines solve through a shared
+	// Hierarchy from several goroutines at once.
 	bwPool   sync.Pool
 	coarseMu sync.Mutex
 }
@@ -149,17 +150,14 @@ func NewCtx(ctx context.Context, g *graph.Graph, opt Options) (h *Hierarchy, err
 	return h, nil
 }
 
-// newLevel materializes one layer: the diagonal inverse, the cluster-sorted
-// vertex order for the conflict-free parallel restriction, and the scratch
-// buffers sized for this level.
+// newLevel materializes one layer: the diagonal inverse and the
+// cluster-sorted vertex order for the conflict-free parallel restriction.
+// Apply scratch is not stored here — it lives in pooled per-apply
+// workspaces so concurrent applies never share buffers.
 func newLevel(cur *graph.Graph, d *decomp.Decomposition, smooth int) *Level {
 	l := &Level{
 		G: cur, D: d, smooth: smooth,
 		dInv: make([]float64, cur.N()),
-		rq:   make([]float64, d.Count),
-		xq:   make([]float64, d.Count),
-		tmp:  make([]float64, cur.N()),
-		tmp2: make([]float64, cur.N()),
 	}
 	for v := 0; v < cur.N(); v++ {
 		if vol := cur.Vol(v); vol > 0 {
@@ -220,9 +218,10 @@ func (h *Hierarchy) MemoryBytes() int64 {
 	var b int64
 	for _, l := range h.levels {
 		b += l.G.Bytes()
-		b += 8 * int64(len(l.dInv)+len(l.order)+len(l.start)+len(l.rq)+len(l.xq)+len(l.tmp)+len(l.tmp2))
-		// The clustering's assignment vector.
-		b += 8 * int64(l.G.N())
+		b += 8 * int64(len(l.dInv)+len(l.order)+len(l.start))
+		// The clustering's assignment vector, plus one pooled apply
+		// workspace's per-level share (two n-vectors, two quotient vectors).
+		b += 8 * int64(3*l.G.N()+2*l.D.Count)
 	}
 	if h.coarseG != nil {
 		cn := int64(h.coarseG.N())
@@ -242,25 +241,45 @@ func (h *Hierarchy) Dim() int {
 
 // Apply computes dst ≈ B⁺·r multilevel-recursively. It is a fixed symmetric
 // positive semidefinite linear operator, hence a valid stationary PCG
-// preconditioner.
+// preconditioner. Work buffers come from the hierarchy's apply pool and the
+// coarse direct solve is serialized, so Apply is safe for concurrent use —
+// and, because every sweep is elementwise or a fixed-order segmented sum,
+// bit-identical at any worker count.
 func (h *Hierarchy) Apply(dst, r []float64) {
-	h.applyLevel(0, dst, r)
+	w, _ := h.bwPool.Get().(*blockWork)
+	if w == nil {
+		w = &blockWork{}
+	}
+	for len(w.rq) < len(h.levels) {
+		w.rq = append(w.rq, nil)
+		w.xq = append(w.xq, nil)
+		w.tmp = append(w.tmp, nil)
+		w.tmp2 = append(w.tmp2, nil)
+	}
+	h.applyLevel(0, dst, r, w)
+	h.bwPool.Put(w)
 }
 
-func (h *Hierarchy) applyLevel(level int, dst, r []float64) {
+func (h *Hierarchy) applyLevel(level int, dst, r []float64, w *blockWork) {
 	if level == len(h.levels) {
+		// The dense solver owns internal scratch; the lock keeps concurrent
+		// applies out of it.
+		h.coarseMu.Lock()
 		h.coarse.Solve(dst, r)
+		h.coarseMu.Unlock()
 		return
 	}
 	l := h.levels[level]
 	n := l.G.N()
+	rq := growBuf(&w.rq[level], l.D.Count)
+	xq := growBuf(&w.xq[level], l.D.Count)
 	if l.smooth == 0 {
 		// Pure Steiner recursion: dst = D⁻¹r + R·coarse(Rᵀr).
-		restrict(l, r)
-		h.applyLevel(level+1, l.xq, l.rq)
+		restrict(l, r, rq)
+		h.applyLevel(level+1, xq, rq, w)
 		par.For(n, elemGrain, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
-				dst[v] = r[v]*l.dInv[v] + l.xq[l.D.Assign[v]]
+				dst[v] = r[v]*l.dInv[v] + xq[l.D.Assign[v]]
 			}
 		})
 		return
@@ -272,37 +291,39 @@ func (h *Hierarchy) applyLevel(level int, dst, r []float64) {
 	// LapMul matvec.
 	const omega = 0.5
 	x := dst
+	tmp := growBuf(&w.tmp[level], n)
+	tmp2 := growBuf(&w.tmp2[level], n)
 	par.For(n, elemGrain, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			x[v] = omega * r[v] * l.dInv[v]
 		}
 	})
 	for s := 1; s < l.smooth; s++ {
-		l.G.LapMul(l.tmp, x)
+		l.G.LapMul(tmp, x)
 		par.For(n, elemGrain, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
-				x[v] += omega * (r[v] - l.tmp[v]) * l.dInv[v]
+				x[v] += omega * (r[v] - tmp[v]) * l.dInv[v]
 			}
 		})
 	}
-	l.G.LapMul(l.tmp, x)
+	l.G.LapMul(tmp, x)
 	par.For(n, elemGrain, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			l.tmp[v] = r[v] - l.tmp[v]
+			tmp[v] = r[v] - tmp[v]
 		}
 	})
-	restrict(l, l.tmp)
-	h.applyLevel(level+1, l.xq, l.rq)
+	restrict(l, tmp, rq)
+	h.applyLevel(level+1, xq, rq, w)
 	par.For(n, elemGrain, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			x[v] += l.xq[l.D.Assign[v]]
+			x[v] += xq[l.D.Assign[v]]
 		}
 	})
 	for s := 0; s < l.smooth; s++ {
-		l.G.LapMul(l.tmp2, x)
+		l.G.LapMul(tmp2, x)
 		par.For(n, elemGrain, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
-				x[v] += omega * (r[v] - l.tmp2[v]) * l.dInv[v]
+				x[v] += omega * (r[v] - tmp2[v]) * l.dInv[v]
 			}
 		})
 	}
@@ -312,14 +333,16 @@ func (h *Hierarchy) applyLevel(level int, dst, r []float64) {
 // below it par.For degrades to one sequential call.
 const elemGrain = 8192
 
-func restrict(l *Level, r []float64) {
-	par.For(len(l.rq), 512, func(lo, hi int) {
+// restrict computes rq = Rᵀr: each cluster sums its members in the fixed
+// cluster-sorted order, so the result does not depend on worker chunking.
+func restrict(l *Level, r, rq []float64) {
+	par.For(l.D.Count, 512, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			acc := 0.0
 			for i := l.start[c]; i < l.start[c+1]; i++ {
 				acc += r[l.order[i]]
 			}
-			l.rq[c] = acc
+			rq[c] = acc
 		}
 	})
 }

@@ -339,10 +339,76 @@ func TestDisabledPathAllocs(t *testing.T) {
 		nilReg.Counter("hcd_solve_total").Inc()
 		nilReg.Gauge("hcd_solve_last_iterations").Set(1)
 		nilHist.Observe(1e-9)
+		_ = nilHist.Quantile(0.99)
 		nilSpan.Arg("k", 1)
+		_ = nilSpan.ID()
+		_ = (*Tracer)(nil).ID()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	h := NewRegistry().Histogram("q", bounds)
+	// Empty histogram: every quantile is 0.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 4 samples, one per bucket: cumulative counts 1,2,3,4.
+	for _, v := range []float64{0.5, 1.5, 3, 7} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0},       // rank 0 interpolates to the bottom of the first bucket
+		{0.25, 1},    // exactly the first bucket's upper bound
+		{0.5, 2},     // second bucket's upper bound
+		{0.75, 4},    // third
+		{1, 8},       // top
+		{0.125, 0.5}, // halfway into the first bucket
+		{-1, 0},      // clamped
+		{2, 8},       // clamped
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Overflow mass clamps to the last finite bound.
+	h2 := NewRegistry().Histogram("q2", bounds)
+	h2.Observe(100)
+	h2.Observe(200)
+	if got := h2.Quantile(0.99); got != 8 {
+		t.Errorf("overflow quantile = %v, want last bound 8", got)
+	}
+	// Determinism: identical sample multisets give bit-identical quantiles
+	// regardless of observation order.
+	h3 := NewRegistry().Histogram("q3", bounds)
+	for _, v := range []float64{7, 3, 0.5, 1.5} {
+		h3.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if h.Quantile(q) != h3.Quantile(q) {
+			t.Errorf("quantile %v order-dependent: %v vs %v", q, h.Quantile(q), h3.Quantile(q))
+		}
+	}
+}
+
+func TestTracerAndSpanIDs(t *testing.T) {
+	a, b := NewTracer(), NewTracer()
+	if a.ID() == 0 || b.ID() == 0 || a.ID() == b.ID() {
+		t.Fatalf("tracer IDs not unique/non-zero: %d %d", a.ID(), b.ID())
+	}
+	ctx := WithTracer(context.Background(), a)
+	_, sp := StartSpan(ctx, "x")
+	defer sp.End()
+	if sp.ID() == 0 {
+		t.Fatal("span ID zero")
+	}
+	spans := a.Spans()
+	if len(spans) != 1 || spans[0].ID != sp.ID() {
+		t.Fatalf("Span.ID %d does not match SpanInfo.ID %v", sp.ID(), spans)
 	}
 }
 

@@ -122,6 +122,56 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution from the bucket counts, interpolating linearly inside the
+// containing bucket (the first bucket interpolates up from zero — the
+// registry's histograms observe non-negative durations and residuals).
+// Observations that landed past the last finite bound clamp to that bound:
+// a fixed-bucket histogram cannot see further, and reporting the bound keeps
+// the estimate monotone instead of inventing mass at infinity. Returns 0 for
+// an empty or nil histogram.
+//
+// The estimate is deterministic in the bucket counts, so two runs that
+// observe the same multiset of samples report bit-identical quantiles — the
+// property the replay harness's SLO report relies on.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += n
+	}
+	// Remaining mass sits in the implicit +Inf bucket.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -18,6 +18,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,12 +28,17 @@ import (
 // zero value is not usable — construct with NewTracer. A nil *Tracer is the
 // documented disabled state: every method is a cheap no-op.
 type Tracer struct {
+	id     uint64
 	mu     sync.Mutex
 	base   time.Time
 	events []event
 	open   int
 	nextID uint64
 }
+
+// traceIDs hands each tracer a process-unique identity, so log lines can
+// name which trace their span IDs resolve in.
+var traceIDs atomic.Uint64
 
 // event is one recorded trace entry. Spans are 'X' (complete) events whose
 // duration is filled in by Span.End; instants are 'i', counters are 'C'.
@@ -58,7 +64,17 @@ type Arg struct {
 // NewTracer starts an empty trace; the moment of the call is time zero of
 // the trace clock.
 func NewTracer() *Tracer {
-	return &Tracer{base: time.Now()}
+	return &Tracer{id: traceIDs.Add(1), base: time.Now()}
+}
+
+// ID returns the tracer's process-unique identity (0 on nil) — the trace_id
+// the serve layer stamps on structured request logs so a log line can be
+// joined back to the span tree that recorded the same request.
+func (t *Tracer) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
 }
 
 // Span is one open (or ended) interval in a trace. The zero of the API is
@@ -69,6 +85,15 @@ type Span struct {
 	idx int
 	id  uint64
 	tid uint64
+}
+
+// ID returns the span's identity within its trace (0 on nil) — the span_id
+// of structured request logs, matching SpanInfo.ID in Tracer.Spans.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // start opens a span under the given parent (nil for a root span).

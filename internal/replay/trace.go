@@ -1,0 +1,118 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Request is one materialized trace entry: everything the engine needs to
+// issue the solve, with no randomness left — two engines replaying the same
+// trace issue byte-identical request bodies.
+type Request struct {
+	Index  int    `json:"index"`
+	Tenant string `json:"tenant"`
+	// Graph indexes Trace.Scenario.Graphs (the engine maps it to the handle
+	// it got back from submit).
+	Graph   int     `json:"graph"`
+	RHS     int     `json:"rhs"`
+	Tol     float64 `json:"tol,omitempty"`
+	MaxIter int     `json:"max_iter,omitempty"`
+	Method  string  `json:"method,omitempty"`
+	// Seed generates the server-side mean-free right-hand sides, so the
+	// solve inputs are pinned without shipping vectors in the trace.
+	Seed int64 `json:"seed"`
+	// OffsetMS is the open-loop arrival offset from replay start
+	// (exponential inter-arrivals at Scenario.Rate); closed-loop replays
+	// ignore it.
+	OffsetMS float64 `json:"offset_ms,omitempty"`
+}
+
+// Trace is a scenario plus its materialized request sequence — the durable,
+// replayable artifact. The JSON form is the trace file format.
+type Trace struct {
+	Scenario Scenario  `json:"scenario"`
+	Requests []Request `json:"requests"`
+}
+
+// Generate materializes a scenario into a trace. It is a pure function of
+// the scenario (all randomness flows from Scenario.Seed through one
+// math/rand stream consumed in request order), so the same scenario always
+// yields the same trace, on any machine, at any GOMAXPROCS.
+func Generate(sc Scenario) (*Trace, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.withDefaults()
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	// Cumulative mix weights for the weighted draw.
+	cum := make([]float64, len(sc.Mix))
+	total := 0.0
+	for i, m := range sc.Mix {
+		w := m.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("replay: scenario %q: mix weights sum to zero", sc.Name)
+	}
+
+	tr := &Trace{Scenario: sc, Requests: make([]Request, sc.Requests)}
+	offset := 0.0
+	for i := range tr.Requests {
+		draw := rng.Float64() * total
+		mi := 0
+		for mi < len(cum)-1 && draw >= cum[mi] {
+			mi++
+		}
+		m := sc.Mix[mi]
+		rhs := m.RHS
+		if rhs <= 0 {
+			rhs = 1
+		}
+		if sc.Arrival == ArrivalOpen {
+			offset += rng.ExpFloat64() / sc.Rate * 1000
+		}
+		tr.Requests[i] = Request{
+			Index:    i,
+			Tenant:   fmt.Sprintf("t%d", rng.Intn(sc.Tenants)),
+			Graph:    m.Graph,
+			RHS:      rhs,
+			Tol:      m.Tol,
+			MaxIter:  m.MaxIter,
+			Method:   m.Method,
+			Seed:     1 + rng.Int63n(1<<30),
+			OffsetMS: offset,
+		}
+	}
+	return tr, nil
+}
+
+// Write encodes the trace as indented JSON.
+func (tr *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadTrace decodes a trace file and validates its scenario.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	if err := json.NewDecoder(r).Decode(tr); err != nil {
+		return nil, fmt.Errorf("replay: bad trace: %w", err)
+	}
+	if err := tr.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	for i, rq := range tr.Requests {
+		if rq.Graph < 0 || rq.Graph >= len(tr.Scenario.Graphs) {
+			return nil, fmt.Errorf("replay: trace request %d references graph %d of %d", i, rq.Graph, len(tr.Scenario.Graphs))
+		}
+	}
+	return tr, nil
+}

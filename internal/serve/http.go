@@ -183,9 +183,24 @@ func (s *Server) wrap(route string, fn http.HandlerFunc) http.HandlerFunc {
 		sp.Arg("path", r.URL.Path)
 		sp.Arg("tenant", tenant(r))
 
+		// Access logging: install the status recorder and the handler
+		// annotation record only when a logger exists, so the disabled path
+		// stays allocation-free.
+		var lf *logFields
+		out := w
+		if s.log != nil {
+			lf = &logFields{}
+			ctx = context.WithValue(ctx, logFieldsKey{}, lf)
+			rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+			out = rec
+			defer func(start time.Time) {
+				s.logRequest(ctx, route, r, rec.code, time.Since(start), lf)
+			}(time.Now())
+		}
+
 		counter(s.reg, metricRequests+`{route="`+route+`"}`)
 		start := time.Now()
-		fn(w, r.WithContext(ctx))
+		fn(out, r.WithContext(ctx))
 		observe(s.reg, metricRequestTime+`{route="`+route+`"}`, time.Since(start))
 	}
 }
@@ -295,6 +310,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, "%v", err)
 		return
 	}
+	logFieldsFrom(r.Context()).setHandle(h.id)
 	if q.Get("wait") == "true" {
 		select {
 		case <-s.store.readyChan(h):
@@ -342,6 +358,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	id := r.PathValue("id")
 	ten := tenant(r)
+	logFieldsFrom(ctx).setHandle(id)
 
 	var req solveRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -362,6 +379,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var over *OverloadError
 	if errors.As(err, &over) {
 		counter(s.reg, metricThrottled+`{tenant="`+ten+`"}`)
+		logFieldsFrom(ctx).setOutcome("throttled")
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(over.RetryAfter.Seconds()))))
 		writeErr(w, http.StatusTooManyRequests, "%v", over)
 		return
@@ -504,9 +522,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	observe(s.reg, metricSolveTime, time.Since(start))
 	s.store.CountSolve(h)
+	totalIters := 0
+	aggOutcome := ""
 	for _, res := range resp.Results {
 		counter(s.reg, metricSolves+`{outcome="`+res.Outcome.String()+`"}`)
+		totalIters += res.Iterations
+		if !res.Converged && aggOutcome == "" {
+			aggOutcome = res.Outcome.String()
+		}
 	}
+	if aggOutcome == "" {
+		aggOutcome = "converged"
+	}
+	logFieldsFrom(ctx).setSolve(aggOutcome, len(b), totalIters, degraded, batchWidth, waited.Milliseconds())
 	if err != nil && len(resp.Results) == 0 {
 		code := http.StatusInternalServerError
 		if ctx.Err() != nil {

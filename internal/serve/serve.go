@@ -9,6 +9,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,12 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer, when non-nil, records per-request and build spans.
 	Tracer *obs.Tracer
+	// Logger, when non-nil, receives one structured access-log record per
+	// request (route, code, tenant, duration, trace/span IDs, handle,
+	// outcome, batch width). Nil disables logging with zero per-request
+	// overhead — the `-log-json` / `-log-level` flags of hcd-server
+	// construct this.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +120,7 @@ type Server struct {
 	cfg   Config
 	reg   *obs.Registry
 	tr    *obs.Tracer
+	log   *slog.Logger // nil = access logging disabled (the zero-alloc path)
 	store *store
 	adm   *admission
 	mux   *http.ServeMux
@@ -131,6 +139,7 @@ func New(cfg Config) *Server {
 		cfg: cfg,
 		reg: cfg.Registry,
 		tr:  cfg.Tracer,
+		log: cfg.Logger,
 		adm: newAdmission(cfg.Admission),
 		mux: http.NewServeMux(),
 	}

@@ -260,6 +260,146 @@ func PowerLaw(n, m int, wf func(rng *rand.Rand) float64, seed int64) (*graph.Gra
 	return graph.MustFromEdges(n, es), nil
 }
 
+// RoadNetwork returns a planar-with-bottlenecks graph: an nx×ny grid carved
+// into district×district blocks of dense "street" connectivity, with adjacent
+// districts joined only through one or two "highway" crossings per shared
+// border. The cut between any two districts is a handful of edges while each
+// district is a well-connected grid — the road-network cut structure that
+// makes these instances qualitatively different from uniform grids (natural
+// clusters are the districts; the sparse highway cuts are the bottlenecks a
+// conductance-based decomposition should find). Highway edges carry 10× the
+// street weight, modeling capacity. Planar by construction (a subgraph of the
+// grid), connected, deterministic given seed. Requires nx, ny ≥ 1 and
+// district ≥ 2.
+func RoadNetwork(nx, ny, district int, wf func(rng *rand.Rand) float64, seed int64) (*graph.Graph, error) {
+	if nx < 1 || ny < 1 || district < 2 {
+		return nil, fmt.Errorf("workload: invalid road network parameters nx=%d ny=%d district=%d (want nx,ny >= 1, district >= 2)", nx, ny, district)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	id := func(i, j int) int { return i*ny + j }
+	es := make([]graph.Edge, 0, 2*nx*ny)
+	// Streets: every grid edge that does not cross a district border.
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if i+1 < nx && (i+1)%district != 0 {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i+1, j), W: draw()})
+			}
+			if j+1 < ny && (j+1)%district != 0 {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i, j+1), W: draw()})
+			}
+		}
+	}
+	// Highways: per border segment between two adjacent districts, open one
+	// or two crossings at rng-chosen positions. Borders are visited in a
+	// fixed order (vertical borders west→east then horizontal south→north,
+	// district by district), so the construction is deterministic.
+	crossings := func(lo, hi int) []int {
+		span := hi - lo
+		k := 1
+		if span > 1 && rng.Intn(2) == 1 {
+			k = 2
+		}
+		a := lo + rng.Intn(span)
+		if k == 1 {
+			return []int{a}
+		}
+		b := lo + rng.Intn(span-1)
+		if b >= a {
+			b++ // distinct second crossing
+		}
+		return []int{a, b}
+	}
+	for x := district; x < nx; x += district {
+		for lo := 0; lo < ny; lo += district {
+			hi := minInt(lo+district, ny)
+			for _, j := range crossings(lo, hi) {
+				es = append(es, graph.Edge{U: id(x-1, j), V: id(x, j), W: 10 * draw()})
+			}
+		}
+	}
+	for y := district; y < ny; y += district {
+		for lo := 0; lo < nx; lo += district {
+			hi := minInt(lo+district, nx)
+			for _, i := range crossings(lo, hi) {
+				es = append(es, graph.Edge{U: id(i, y-1), V: id(i, y), W: 10 * draw()})
+			}
+		}
+	}
+	return graph.NewFromEdges(nx*ny, es)
+}
+
+// FEMesh returns a finite-element-style triangulated mesh: an nx×ny point
+// lattice with geometrically graded spacing (elements shrink toward the
+// (0,0) corner, as around a refined feature), per-vertex position jitter, and
+// each quad cell split along its shorter diagonal. Edge weights are inverse
+// edge lengths — the magnitude profile of a first-order FEM stiffness matrix
+// on the same mesh — optionally scaled by a wf material coefficient. The
+// grading plus jitter give smoothly varying, locally irregular weights,
+// unlike the i.i.d. draws of the grid workloads. Planar, connected,
+// deterministic given seed. jitter < 0 selects the default 0.25; values
+// ≥ 0.5 would let adjacent points collide and are rejected.
+func FEMesh(nx, ny int, jitter float64, wf func(rng *rand.Rand) float64, seed int64) (*graph.Graph, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("workload: FE mesh needs nx, ny >= 2, got %d×%d", nx, ny)
+	}
+	if jitter < 0 {
+		jitter = 0.25
+	}
+	if jitter >= 0.5 {
+		return nil, fmt.Errorf("workload: FE mesh jitter %v >= 0.5 would collapse elements", jitter)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := unitOr(wf, rng)
+	id := func(i, j int) int { return i*ny + j }
+	// Graded lattice coordinates: t^1.5 concentrates points near 0.
+	grade := func(k, n int) float64 {
+		t := float64(k) / float64(n-1)
+		return math.Pow(t, 1.5) * float64(n-1)
+	}
+	n := nx * ny
+	px := make([]float64, n)
+	py := make([]float64, n)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			v := id(i, j)
+			px[v] = grade(i, nx) + jitter*(2*rng.Float64()-1)
+			py[v] = grade(j, ny) + jitter*(2*rng.Float64()-1)
+		}
+	}
+	dist := func(u, v int) float64 {
+		dx, dy := px[u]-px[v], py[u]-py[v]
+		d := math.Sqrt(dx*dx + dy*dy)
+		if d < 1e-9 {
+			d = 1e-9
+		}
+		return d
+	}
+	weight := func(u, v int) float64 { return draw() / dist(u, v) }
+	es := make([]graph.Edge, 0, 3*n)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if i+1 < nx {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i+1, j), W: weight(id(i, j), id(i+1, j))})
+			}
+			if j+1 < ny {
+				es = append(es, graph.Edge{U: id(i, j), V: id(i, j+1), W: weight(id(i, j), id(i, j+1))})
+			}
+			if i+1 < nx && j+1 < ny {
+				// Split the cell along its shorter diagonal — the standard
+				// quality heuristic, decided by geometry alone so the choice
+				// is independent of the material-coefficient draws.
+				u, v := id(i, j), id(i+1, j+1)
+				if dist(id(i+1, j), id(i, j+1)) < dist(u, v) {
+					u, v = id(i+1, j), id(i, j+1)
+				}
+				es = append(es, graph.Edge{U: u, V: v, W: weight(u, v)})
+			}
+		}
+	}
+	return graph.NewFromEdges(n, es)
+}
+
 // Caterpillar returns a caterpillar tree: a spine path of length spine with
 // legs leaves attached to every spine vertex; unit weights unless wf given.
 func Caterpillar(spine, legs int, wf func(rng *rand.Rand) float64, seed int64) *graph.Graph {

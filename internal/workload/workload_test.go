@@ -3,6 +3,8 @@ package workload
 import (
 	"math"
 	"testing"
+
+	"hcd/internal/graph"
 )
 
 func TestGrid2DShape(t *testing.T) {
@@ -158,6 +160,148 @@ func TestCaterpillarAndBinaryTree(t *testing.T) {
 	}
 	if b.Degree(0) != 2 {
 		t.Errorf("root degree = %d", b.Degree(0))
+	}
+}
+
+func TestRoadNetworkBottlenecks(t *testing.T) {
+	nx, ny, d := 24, 24, 8
+	g, err := RoadNetwork(nx, ny, d, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != nx*ny {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("road network disconnected")
+	}
+	// Planarity: a subgraph of the grid.
+	if g.M() > 3*g.N()-6 {
+		t.Error("edge count violates planarity bound")
+	}
+	// Bottleneck property: between horizontally adjacent districts at most 2
+	// crossings survive, and at least 1; inside a district the full grid is
+	// present. Count crossings over the first vertical border.
+	id := func(i, j int) int { return i*ny + j }
+	crossings := 0
+	for j := 0; j < ny; j++ {
+		if _, ok := g.Weight(id(d-1, j), id(d, j)); ok {
+			crossings++
+		}
+	}
+	wantMax := 2 * (ny / d) // ≤ 2 per border segment
+	if crossings < ny/d || crossings > wantMax {
+		t.Errorf("border crossings = %d, want in [%d, %d]", crossings, ny/d, wantMax)
+	}
+	// Highways are 10× heavier than unit streets.
+	heavy := false
+	for _, e := range g.Edges() {
+		if e.W == 10 {
+			heavy = true
+			break
+		}
+	}
+	if !heavy {
+		t.Error("no highway-weighted edge found")
+	}
+	// Parameter validation.
+	if _, err := RoadNetwork(8, 8, 1, nil, 1); err == nil {
+		t.Error("district=1 accepted")
+	}
+	if _, err := RoadNetwork(0, 8, 4, nil, 1); err == nil {
+		t.Error("nx=0 accepted")
+	}
+}
+
+func TestFEMeshShape(t *testing.T) {
+	nx, ny := 12, 10
+	g, err := FEMesh(nx, ny, -1, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != nx*ny {
+		t.Fatalf("N = %d", g.N())
+	}
+	wantEdges := (nx-1)*ny + nx*(ny-1) + (nx-1)*(ny-1) // grid + one diagonal per cell
+	if g.M() != wantEdges {
+		t.Fatalf("M = %d, want %d", g.M(), wantEdges)
+	}
+	if !g.Connected() {
+		t.Fatal("mesh disconnected")
+	}
+	if g.M() > 3*g.N()-6 {
+		t.Error("edge count violates planarity bound")
+	}
+	// Graded refinement: elements near the (0,0) corner are smaller, so
+	// their inverse-length weights are heavier than the far corner's.
+	var nearMax, farMin float64 = 0, math.Inf(1)
+	id := func(i, j int) int { return i*ny + j }
+	if w, ok := g.Weight(id(0, 0), id(0, 1)); ok && w > nearMax {
+		nearMax = w
+	}
+	if w, ok := g.Weight(id(nx-2, ny-1), id(nx-1, ny-1)); ok && w < farMin {
+		farMin = w
+	}
+	if !(nearMax > farMin) {
+		t.Errorf("no grading: near-corner weight %v <= far-corner weight %v", nearMax, farMin)
+	}
+	// Validation.
+	if _, err := FEMesh(1, 5, -1, nil, 1); err == nil {
+		t.Error("nx=1 accepted")
+	}
+	if _, err := FEMesh(4, 4, 0.6, nil, 1); err == nil {
+		t.Error("jitter >= 0.5 accepted")
+	}
+}
+
+// TestNewGeneratorDeterminism pins the fixed-seed reproducibility the replay
+// harness depends on: same seed → bit-identical edge lists, different seed →
+// different weights.
+func TestNewGeneratorDeterminism(t *testing.T) {
+	type gen func(seed int64) []graph.Edge
+	gens := map[string]gen{
+		"road": func(seed int64) []graph.Edge {
+			g, err := RoadNetwork(20, 20, 5, Lognormal(0.5), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g.Edges()
+		},
+		"femesh": func(seed int64) []graph.Edge {
+			g, err := FEMesh(15, 15, -1, UniformWeight(0.5, 2), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g.Edges()
+		},
+		"powerlaw": func(seed int64) []graph.Edge {
+			g, err := PowerLaw(300, 3, nil, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g.Edges()
+		},
+	}
+	for name, f := range gens {
+		a, b, c := f(42), f(42), f(43)
+		if len(a) != len(b) {
+			t.Fatalf("%s: same seed, different edge counts %d vs %d", name, len(a), len(b))
+		}
+		diff := false
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed produced different edge %d: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+		for i := 0; i < len(a) && i < len(c); i++ {
+			if a[i] != c[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff && len(a) == len(c) {
+			t.Errorf("%s: different seeds produced identical graphs", name)
+		}
 	}
 }
 

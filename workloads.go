@@ -69,6 +69,22 @@ func PowerLaw(n, m int, wf WeightFn, seed int64) (*Graph, error) {
 	return workload.PowerLaw(n, m, wf, seed)
 }
 
+// RoadNetwork returns a planar-with-bottlenecks graph: an nx×ny grid of
+// district×district street blocks whose adjacent districts connect only
+// through one or two heavy "highway" crossings per shared border — the
+// road-network cut structure (district ≥ 2).
+func RoadNetwork(nx, ny, district int, wf WeightFn, seed int64) (*Graph, error) {
+	return workload.RoadNetwork(nx, ny, district, wf, seed)
+}
+
+// FEMesh returns a finite-element-style triangulated mesh: a graded, jittered
+// nx×ny point lattice split along shorter diagonals, with inverse-edge-length
+// (stiffness-like) weights optionally scaled by a wf material coefficient.
+// jitter < 0 selects the default 0.25.
+func FEMesh(nx, ny int, jitter float64, wf WeightFn, seed int64) (*Graph, error) {
+	return workload.FEMesh(nx, ny, jitter, wf, seed)
+}
+
 // RandomTree returns a uniformly random labeled tree (Prüfer sampling).
 func RandomTree(n int, wf WeightFn, seed int64) *Graph {
 	rng := rand.New(rand.NewSource(seed))
